@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+timing collected by pytest-benchmark, the rendered table/series is printed
+to stdout (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so the numbers can be compared against the
+paper after a run (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Generator scale shared by the benchmarks.  1.0 keeps the full suite in
+#: the low minutes; raise it (e.g. REPRO_BENCH_SCALE=4) for larger runs.
+BENCH_SCALE = 1.0
+
+
+def save_result(name: str, text: str) -> Path:
+    """Print a rendered experiment table and persist it under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Appendix C.2 (Figures 15--17) on sx-stackoverflow.
+
+Paper shape to reproduce: GD behaves on the (non-social) Q&A graph as it
+does on the social networks — vertex fixing keeps balance, step 2ξ works,
+one-shot alternating projection tracks the exact projection.
+"""
+
+from repro.experiments import appendix_stackoverflow
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig15_adaptive_stackoverflow(benchmark):
+    results = run_once(benchmark, lambda: appendix_stackoverflow.run_fig15(
+        scale=BENCH_SCALE, iterations=80))
+    save_result("fig15_adaptive_stackoverflow",
+                appendix_stackoverflow.format_result("fig15", results))
+    metrics = results["stackoverflow"]
+    assert metrics["imbalance"]["adaptive+fixing"][-1] < 6.0
+
+
+def test_fig16_step_length_stackoverflow(benchmark):
+    results = run_once(benchmark, lambda: appendix_stackoverflow.run_fig16(
+        scale=BENCH_SCALE, iterations=80))
+    save_result("fig16_step_length_stackoverflow",
+                appendix_stackoverflow.format_result("fig16", results))
+    series = results["stackoverflow"]
+    finals = {name: values[-1] for name, values in series.items()}
+    assert finals["step 2"] >= max(finals.values()) - 5.0
+
+
+def test_fig17_projection_methods_stackoverflow(benchmark):
+    results = run_once(benchmark, lambda: appendix_stackoverflow.run_fig17(
+        scale=BENCH_SCALE, iterations=60))
+    save_result("fig17_projection_methods_stackoverflow",
+                appendix_stackoverflow.format_result("fig17", results))
+    series = results["stackoverflow"]
+    finals = {name: values[-1] for name, values in series.items()}
+    best_exact = max(value for name, value in finals.items() if name.startswith("exact"))
+    assert finals["alternating"] >= best_exact - 10.0

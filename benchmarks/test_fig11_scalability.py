@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 11: GD runtime vs graph size.
+
+Paper shape to reproduce: near-linear dependence of the partitioning time
+on the number of edges.
+"""
+
+from repro.experiments import fig11_scalability
+
+from _util import run_once, save_result
+
+
+def test_fig11_scalability(benchmark):
+    result = run_once(benchmark, lambda: fig11_scalability.run(
+        scales=(0.5, 1.0, 2.0, 4.0, 8.0), iterations=50))
+    save_result("fig11_scalability", fig11_scalability.format_result(result))
+
+    rows = result["rows"]
+    # Monotone in |E| and close to a linear fit through the origin.
+    edge_counts = [row["num_edges"] for row in rows]
+    assert edge_counts == sorted(edge_counts)
+    assert result["r_squared"] > 0.8
+    # Runtime grows no faster than ~quadratically even at the largest step
+    # (guards against an accidental O(n^2) implementation).
+    first, last = rows[0], rows[-1]
+    edge_ratio = last["num_edges"] / first["num_edges"]
+    time_ratio = last["seconds"] / max(first["seconds"], 1e-9)
+    assert time_ratio < edge_ratio ** 1.7

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 1: per-worker PageRank iteration times.
+
+Paper shape to reproduce: vertex-edge partitioning gives the tightest
+per-worker time distribution and a clear improvement over hash, while
+one-dimensional partitionings leave an overloaded slowest worker.
+"""
+
+from repro.experiments import fig1_worker_histogram
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig1_worker_histogram(benchmark):
+    rows = run_once(benchmark, lambda: fig1_worker_histogram.run(
+        num_workers=16, scale=BENCH_SCALE, gd_iterations=50, pagerank_supersteps=5))
+    save_result("fig1_worker_histogram", fig1_worker_histogram.format_result(rows))
+
+    by_strategy = {row["strategy"]: row for row in rows}
+    # Vertex-edge partitioning improves over hash and has the most even load.
+    assert by_strategy["vertex-edge"]["speedup_over_hash_pct"] > 0
+    assert (by_strategy["vertex-edge"]["iteration_time_std"]
+            <= by_strategy["hash"]["iteration_time_std"])
+    # One-dimensional strategies leave the untracked dimension imbalanced.
+    assert by_strategy["vertex"]["edge_imbalance"] > by_strategy["vertex-edge"]["edge_imbalance"]
+    assert by_strategy["edge"]["vertex_imbalance"] > by_strategy["vertex-edge"]["vertex_imbalance"]

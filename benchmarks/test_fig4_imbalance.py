@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 4: vertex/edge imbalance of the baselines.
+
+Paper shape to reproduce: Spinner and SHP cannot balance both dimensions on
+skewed graphs; Hash, BLP and GD stay near-balanced.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_imbalance
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig4_imbalance(benchmark):
+    rows = run_once(benchmark, lambda: fig4_imbalance.run(
+        scale=BENCH_SCALE, gd_iterations=50))
+    save_result("fig4_imbalance", fig4_imbalance.format_result(rows))
+
+    def worst(algorithm):
+        return max(max(r["vertex_imbalance"], r["edge_imbalance"])
+                   for r in rows if r["algorithm"] == algorithm)
+
+    # GD and BLP are near-balanced on every instance; Spinner and SHP are not.
+    assert worst("GD") < 0.10
+    assert worst("BLP") < 0.10
+    assert worst("Spinner") > worst("GD")
+    assert worst("SHP") > worst("GD")

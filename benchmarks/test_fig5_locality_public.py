@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 5: edge locality on the public graphs.
+
+Paper shape to reproduce: GD > BLP > Hash for every graph and k; Hash is
+close to 100/k %.
+"""
+
+from repro.experiments import fig5_locality_public
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig5_locality_public(benchmark):
+    rows = run_once(benchmark, lambda: fig5_locality_public.run(
+        scale=BENCH_SCALE, gd_iterations=60))
+    save_result("fig5_locality_public", fig5_locality_public.format_result(rows))
+
+    locality = {(r["graph"], r["algorithm"], r["k"]): r["edge_locality_pct"] for r in rows}
+    graphs = {r["graph"] for r in rows}
+    for graph in graphs:
+        for k in (2, 8):
+            assert locality[(graph, "GD", k)] > locality[(graph, "BLP", k)]
+            assert locality[(graph, "BLP", k)] > locality[(graph, "Hash", k)] - 1.0
+            # Hash keeps roughly 1/k of the edges local.
+            assert abs(locality[(graph, "Hash", k)] - 100.0 / k) < 20.0
+    # GD stays balanced while winning on locality.
+    assert all(r["max_imbalance"] < 0.07 for r in rows if r["algorithm"] == "GD")

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6: edge locality on the FB-X graphs.
+
+Paper shape to reproduce: GD above BLP, both far above Hash, for k in
+{16, 128} on graphs of increasing size.
+"""
+
+from repro.experiments import fig6_locality_fb
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig6_locality_fb(benchmark):
+    rows = run_once(benchmark, lambda: fig6_locality_fb.run(
+        scale=BENCH_SCALE, gd_iterations=40))
+    save_result("fig6_locality_fb", fig6_locality_fb.format_result(rows))
+
+    locality = {(r["graph"], r["algorithm"], r["k"]): r["edge_locality_pct"] for r in rows}
+    for (graph, algorithm, k), value in locality.items():
+        if algorithm == "Hash":
+            assert value < 20.0          # ~1/k of edges stay local
+    for graph in {r["graph"] for r in rows}:
+        for k in {r["k"] for r in rows if r["graph"] == graph}:
+            assert locality[(graph, "GD", k)] > locality[(graph, "Hash", k)] + 10
+            assert locality[(graph, "GD", k)] > locality[(graph, "BLP", k)]

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 8 (and 16): step-length comparison.
+
+Paper shape to reproduce: a fixed step length of 2·ξ (ξ = √n / 100) reaches
+the best final locality; much smaller steps converge too slowly within the
+iteration budget.
+"""
+
+from repro.experiments import fig8_step_length
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig8_step_length(benchmark):
+    results = run_once(benchmark, lambda: fig8_step_length.run(
+        scale=BENCH_SCALE, iterations=100))
+    save_result("fig8_step_length", fig8_step_length.format_result(results))
+
+    for graph_name, series in results.items():
+        final = {name: values[-1] for name, values in series.items()}
+        # The paper's recommended step (2ξ) ends at or near the best locality.
+        best = max(final.values())
+        assert final["step 2"] >= best - 3.0
+        # Every configuration improves on its own starting point.
+        for name, values in series.items():
+            assert values[-1] >= values[0] - 1.0

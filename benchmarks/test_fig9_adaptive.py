@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 9 (and 15): adaptive step + vertex fixing.
+
+Paper shape to reproduce: adaptive step size with vertex fixing reaches the
+best locality while keeping the imbalance near zero throughout the run.
+"""
+
+from repro.experiments import fig9_adaptive
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_fig9_adaptive(benchmark):
+    results = run_once(benchmark, lambda: fig9_adaptive.run(
+        scale=BENCH_SCALE, iterations=100))
+    save_result("fig9_adaptive", fig9_adaptive.format_result(results))
+
+    for graph_name, metrics in results.items():
+        locality = metrics["locality"]
+        imbalance = metrics["imbalance"]
+        # Vertex fixing achieves competitive (near-best) final locality ...
+        finals = {name: values[-1] for name, values in locality.items()}
+        assert finals["adaptive+fixing"] >= max(finals.values()) - 5.0
+        # ... and its final imbalance is essentially zero.
+        assert imbalance["adaptive+fixing"][-1] < 6.0

@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+Unlike the figure/table benchmarks (which run once and print a table),
+these use pytest-benchmark's statistical timing on the inner kernels: the
+gradient mat-vec, the projection step, one full GD iteration budget, and
+one simulated superstep.  They are the numbers to watch when optimizing.
+"""
+
+import numpy as np
+
+from repro.core import GDConfig, QuadraticRelaxation, gd_bisect
+from repro.core.projection import ExactProjector, FeasibleRegion, make_projector
+from repro.distributed import BSPEngine, PageRank
+from repro.graphs import livejournal_like, standard_weights
+from repro.partition import Partition
+
+
+GRAPH = livejournal_like(scale=1.0, seed=0)
+WEIGHTS = standard_weights(GRAPH, 2)
+REGION = FeasibleRegion.balanced(WEIGHTS, 0.05)
+
+
+def test_perf_gradient_matvec(benchmark):
+    relaxation = QuadraticRelaxation(GRAPH)
+    x = np.random.default_rng(0).uniform(-1, 1, GRAPH.num_vertices)
+    benchmark(lambda: relaxation.gradient(x))
+
+
+def test_perf_exact_projection(benchmark):
+    projector = ExactProjector(REGION)
+    point = np.random.default_rng(1).normal(size=GRAPH.num_vertices) * 2
+    benchmark(lambda: projector.project(point))
+
+
+def test_perf_oneshot_projection(benchmark):
+    projector = make_projector("alternating_oneshot", REGION)
+    point = np.random.default_rng(2).normal(size=GRAPH.num_vertices) * 2
+    benchmark(lambda: projector.project(point))
+
+
+def test_perf_gd_bisection_20_iterations(benchmark):
+    config = GDConfig(iterations=20, seed=0)
+    benchmark.pedantic(lambda: gd_bisect(GRAPH, WEIGHTS, 0.05, config),
+                       rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_perf_pagerank_superstep(benchmark):
+    engine = BSPEngine()
+    placement = Partition(graph=GRAPH,
+                          assignment=np.arange(GRAPH.num_vertices) % 16,
+                          num_parts=16)
+    program = PageRank(supersteps=1)
+    benchmark.pedantic(lambda: engine.run(GRAPH, placement, program),
+                       rounds=3, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 2: PageRank runtime / communication detail.
+
+Paper shape to reproduce: hash has the largest communication volume;
+one-dimensional partitionings have the largest max worker time (long idle
+tails); vertex-edge has the smallest max/mean gap and standard deviation.
+"""
+
+from repro.experiments import table2_pagerank_detail
+
+from _util import BENCH_SCALE, run_once, save_result
+
+
+def test_table2_pagerank_detail(benchmark):
+    rows = run_once(benchmark, lambda: table2_pagerank_detail.run(
+        scale=BENCH_SCALE, num_workers=128, gd_iterations=40, pagerank_supersteps=10))
+    save_result("table2_pagerank_detail", table2_pagerank_detail.format_result(rows))
+
+    by_strategy = {row["partitioning"]: row for row in rows}
+    hash_row = by_strategy["hash"]
+    vertex_edge = by_strategy["vertex-edge"]
+
+    # Hash sends the most data over the network (no locality at all).
+    assert all(hash_row["communication_mean_mb"] >= row["communication_mean_mb"] - 1e-9
+               for row in rows)
+    # Vertex-edge partitioning has the most even load: smallest stdev and the
+    # smallest gap between the slowest and the average worker.
+    assert all(vertex_edge["runtime_stdev"] <= row["runtime_stdev"] + 1e-9 for row in rows)
+    gap = {name: row["runtime_max"] - row["runtime_mean"] for name, row in by_strategy.items()}
+    assert gap["vertex-edge"] == min(gap.values())
+    # One-dimensional balancing leaves a longer idle tail than 2-D balancing.
+    assert max(gap["vertex"], gap["edge"]) > gap["vertex-edge"]

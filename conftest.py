@@ -1,0 +1,7 @@
+"""Ensure the in-repo sources are importable when the package is not installed."""
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,57 @@
+"""repro — Multi-Dimensional Balanced Graph Partitioning via Projected Gradient Descent.
+
+A from-scratch reproduction of Avdiukhin, Pupyrev and Yaroslavtsev (VLDB /
+arXiv:1902.03522, 2019).  The package contains:
+
+* :mod:`repro.graphs` — graph representation, synthetic dataset presets and
+  vertex weight functions;
+* :mod:`repro.partition` — the partition data model and quality metrics;
+* :mod:`repro.core` — the GD algorithm (projected gradient descent with
+  exact / alternating / Dykstra projections, rounding, k-way drivers);
+* :mod:`repro.baselines` — Hash, Spinner, BLP, SHP and a METIS-like
+  multilevel multi-constraint partitioner;
+* :mod:`repro.distributed` — a Giraph-style BSP simulator with PageRank,
+  Connected Components, Mutual Friends and Hypergraph Clustering;
+* :mod:`repro.experiments` — one runner per table / figure of the paper.
+
+Quickstart::
+
+    from repro.graphs import livejournal_like, standard_weights
+    from repro.core import GDPartitioner
+    from repro.partition import edge_locality, max_imbalance
+
+    graph = livejournal_like()
+    weights = standard_weights(graph, 2)      # balance vertices and edges
+    partition = GDPartitioner(epsilon=0.05).partition(graph, weights, num_parts=8)
+    print(edge_locality(partition), max_imbalance(partition, weights))
+"""
+
+from . import baselines, core, distributed, experiments, graphs, partition
+from .core import GDConfig, GDPartitioner, gd_bisect, recursive_bisection
+from .graphs import Graph, load_dataset, standard_weights, weight_matrix
+from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "distributed",
+    "experiments",
+    "graphs",
+    "partition",
+    "GDConfig",
+    "GDPartitioner",
+    "gd_bisect",
+    "recursive_bisection",
+    "Graph",
+    "load_dataset",
+    "standard_weights",
+    "weight_matrix",
+    "Partition",
+    "edge_locality",
+    "imbalance",
+    "is_epsilon_balanced",
+    "max_imbalance",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline partitioners evaluated in the paper (§4)."""
+
+from .base import Partitioner
+from .hash_partitioner import HashPartitioner
+from .spinner import SpinnerPartitioner
+from .blp import BalancedLabelPropagation
+from .shp import SocialHashPartitioner
+from .metis_like import MetisLikePartitioner
+from .streaming import FennelPartitioner, LinearDeterministicGreedy
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "SpinnerPartitioner",
+    "BalancedLabelPropagation",
+    "SocialHashPartitioner",
+    "MetisLikePartitioner",
+    "FennelPartitioner",
+    "LinearDeterministicGreedy",
+]

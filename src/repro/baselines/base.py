@@ -1,0 +1,40 @@
+"""Common interface of all partitioners (GD and the baselines of §4).
+
+Every partitioner maps ``(graph, weights, num_parts)`` to a
+:class:`~repro.partition.partition.Partition`.  Baselines that cannot honour
+multi-dimensional balance (Spinner, SHP) still accept the full weight
+matrix so the evaluation harness can measure how unbalanced their output is
+— that asymmetry is exactly what Figure 4 of the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from ..partition.validation import validate_num_parts, validate_weights
+
+__all__ = ["Partitioner"]
+
+
+class Partitioner(ABC):
+    """Base class for graph partitioners."""
+
+    #: Human-readable algorithm name used in experiment tables.
+    name: str = "partitioner"
+
+    @abstractmethod
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        """Partition ``graph`` into ``num_parts`` parts."""
+
+    def _validate(self, graph: Graph, weights: np.ndarray,
+                  num_parts: int) -> tuple[np.ndarray, int]:
+        """Shared argument validation for subclasses."""
+        return (validate_weights(graph, weights),
+                validate_num_parts(num_parts, graph.num_vertices))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,159 @@
+"""Balanced Label Propagation (BLP) — Ugander & Backstrom [42] combined with
+the size-constrained clustering of Meyerhenke et al. [34], as described in
+Section 4 of the paper.
+
+The method has two steps:
+
+1. **Size-constrained clustering.**  The graph is clustered into ``c * k``
+   clusters (the paper uses ``c = 1024``; our default adapts to graph size)
+   by label propagation in which no cluster may exceed ``|V| / (c k)``
+   vertices or ``|E| / (c k)`` edges (measured as half the total degree of
+   its members).
+2. **Random merging.**  Clusters are merged into ``k`` partitions.  Because
+   there are many more clusters than partitions and each cluster is small,
+   assigning clusters greedily (each to the currently lightest partition
+   under a combined multi-dimensional load) yields multi-dimensional
+   balance even though the individual clusters differ in size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from .base import Partitioner
+
+__all__ = ["BalancedLabelPropagation"]
+
+
+class BalancedLabelPropagation(Partitioner):
+    """Two-phase BLP baseline: constrained clustering + greedy merging."""
+
+    name = "BLP"
+
+    def __init__(self, clusters_per_part: int = 16, clustering_iterations: int = 15,
+                 seed: int = 0):
+        if clusters_per_part < 1:
+            raise ValueError("clusters_per_part must be at least 1")
+        if clustering_iterations < 1:
+            raise ValueError("clustering_iterations must be at least 1")
+        self._clusters_per_part = clusters_per_part
+        self._clustering_iterations = clustering_iterations
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        weights, num_parts = self._validate(graph, weights, num_parts)
+        n = graph.num_vertices
+        if n == 0:
+            return Partition(graph=graph, assignment=np.empty(0, dtype=np.int64),
+                             num_parts=num_parts)
+        rng = np.random.default_rng(self._seed)
+
+        num_clusters = min(self._clusters_per_part * num_parts, max(n // 2, num_parts))
+        clusters = self._size_constrained_clustering(graph, num_clusters, rng)
+        assignment = self._merge_clusters(clusters, num_clusters, weights, num_parts, rng)
+        return Partition(graph=graph, assignment=assignment, num_parts=num_parts)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bfs_chunk_labels(graph: Graph, num_clusters: int,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Initial clusters: slice a BFS vertex ordering into equal chunks.
+
+        A BFS ordering keeps nearby vertices in the same chunk, so the
+        clustering starts from locality-aware labels instead of random ones
+        (random labels take many propagation rounds to become meaningful).
+        """
+        n = graph.num_vertices
+        order = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        position = 0
+        for start in rng.permutation(n):
+            if visited[start]:
+                continue
+            queue = [int(start)]
+            visited[start] = True
+            while queue:
+                vertex = queue.pop(0)
+                order[position] = vertex
+                position += 1
+                for neighbor in graph.neighbors(vertex):
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        queue.append(int(neighbor))
+        chunk_size = max(int(np.ceil(n / num_clusters)), 1)
+        labels = np.empty(n, dtype=np.int64)
+        labels[order] = np.arange(n) // chunk_size
+        return np.minimum(labels, num_clusters - 1)
+
+    def _size_constrained_clustering(self, graph: Graph, num_clusters: int,
+                                     rng: np.random.Generator) -> np.ndarray:
+        """Label propagation with per-cluster vertex and edge caps."""
+        n = graph.num_vertices
+        degrees = graph.degrees
+        # Caps include a 25% headroom over the ideal cluster size so label
+        # propagation retains room to move vertices between clusters.
+        vertex_cap = max(np.ceil(1.25 * n / num_clusters), 1.0)
+        edge_cap = max(np.ceil(1.25 * degrees.sum() / num_clusters), 1.0)
+
+        clusters = self._bfs_chunk_labels(graph, num_clusters, rng)
+        vertex_loads = np.bincount(clusters, minlength=num_clusters).astype(np.float64)
+        edge_loads = np.bincount(clusters, weights=degrees, minlength=num_clusters)
+
+        for _ in range(self._clustering_iterations):
+            order = rng.permutation(n)
+            changed = 0
+            for vertex in order:
+                neighbors = graph.neighbors(vertex)
+                if neighbors.size == 0:
+                    continue
+                counts = np.bincount(clusters[neighbors], minlength=num_clusters)
+                current = clusters[vertex]
+                # Candidate clusters sorted by neighbor count; pick the best
+                # one that respects both caps.
+                candidates = np.argsort(counts)[::-1]
+                for candidate in candidates:
+                    if counts[candidate] <= counts[current] or candidate == current:
+                        break
+                    within_vertex_cap = vertex_loads[candidate] + 1 <= vertex_cap
+                    within_edge_cap = edge_loads[candidate] + degrees[vertex] <= edge_cap
+                    if within_vertex_cap and within_edge_cap:
+                        vertex_loads[current] -= 1
+                        edge_loads[current] -= degrees[vertex]
+                        vertex_loads[candidate] += 1
+                        edge_loads[candidate] += degrees[vertex]
+                        clusters[vertex] = candidate
+                        changed += 1
+                        break
+            if changed == 0:
+                break
+        return clusters
+
+    @staticmethod
+    def _merge_clusters(clusters: np.ndarray, num_clusters: int, weights: np.ndarray,
+                        num_parts: int, rng: np.random.Generator) -> np.ndarray:
+        """Greedily pack clusters into parts, balancing every dimension."""
+        dimensions = weights.shape[0]
+        cluster_weights = np.vstack([
+            np.bincount(clusters, weights=weights[j], minlength=num_clusters)
+            for j in range(dimensions)
+        ])  # (d, num_clusters)
+        targets = weights.sum(axis=1) / num_parts
+
+        part_loads = np.zeros((dimensions, num_parts))
+        cluster_to_part = np.zeros(num_clusters, dtype=np.int64)
+        # Assign heavier clusters first (standard greedy bin-packing order),
+        # breaking ties randomly so repeated runs differ.
+        combined = (cluster_weights / np.maximum(targets[:, None], 1e-12)).sum(axis=0)
+        order = np.argsort(combined + rng.random(num_clusters) * 1e-9)[::-1]
+        for cluster in order:
+            normalized = part_loads / np.maximum(targets[:, None], 1e-12)
+            # Choose the part whose worst dimension would stay smallest.
+            prospective = normalized + (cluster_weights[:, cluster, None]
+                                        / np.maximum(targets[:, None], 1e-12))
+            best_part = int(np.argmin(prospective.max(axis=0)))
+            cluster_to_part[cluster] = best_part
+            part_loads[:, best_part] += cluster_weights[:, cluster]
+        return cluster_to_part[clusters]

@@ -1,0 +1,130 @@
+"""Social Hash Partitioner (SHP) — Kabiljo et al. [22], Shalita et al. [38].
+
+SHP is a distributed local-search partitioner built on the classic
+Kernighan--Lin heuristic [25].  It balances on a *single* dimension; the
+paper configures it for the multi-dimensional experiments by balancing on a
+linear combination of the specified dimensions ("the same number of edges
+with a higher coefficient and the same number of vertices with a lower
+coefficient") — final balance on the individual dimensions is therefore not
+guaranteed, which Figure 4 demonstrates.
+
+The implementation follows the probabilistic-swap variant of SHP: in every
+round each vertex computes its preferred target part (the one holding most
+of its neighbors); pairs of parts then exchange equal *combined weight*
+amounts of their most eager vertices, which keeps the combined dimension
+balanced while improving locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from .base import Partitioner
+
+__all__ = ["SocialHashPartitioner"]
+
+
+class SocialHashPartitioner(Partitioner):
+    """Local-search partitioner balancing a combined dimension."""
+
+    name = "SHP"
+
+    def __init__(self, iterations: int = 20, edge_coefficient: float = 1.0,
+                 vertex_coefficient: float = 0.1, seed: int = 0):
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self._iterations = iterations
+        self._edge_coefficient = edge_coefficient
+        self._vertex_coefficient = vertex_coefficient
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _combined_weights(self, graph: Graph, weights: np.ndarray) -> np.ndarray:
+        """The single dimension SHP actually balances.
+
+        Uses degree (edge balance) with the higher coefficient and unit
+        weights (vertex balance) with the lower one, matching the paper's
+        configuration.  If the user passed a single custom dimension it is
+        used directly.
+        """
+        if weights.shape[0] == 1:
+            return weights[0]
+        degrees = graph.degrees
+        units = np.ones(graph.num_vertices)
+        return self._edge_coefficient * degrees + self._vertex_coefficient * units
+
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        weights, num_parts = self._validate(graph, weights, num_parts)
+        n = graph.num_vertices
+        rng = np.random.default_rng(self._seed)
+        if n == 0:
+            return Partition(graph=graph, assignment=np.empty(0, dtype=np.int64),
+                             num_parts=num_parts)
+
+        combined = self._combined_weights(graph, weights)
+        # Initial assignment: greedy bin packing of the combined dimension so
+        # the invariant "combined weight is balanced" holds from the start.
+        assignment = np.zeros(n, dtype=np.int64)
+        loads = np.zeros(num_parts)
+        for vertex in np.argsort(combined)[::-1]:
+            part = int(np.argmin(loads))
+            assignment[vertex] = part
+            loads[part] += combined[vertex]
+
+        for _ in range(self._iterations):
+            moved = self._swap_round(graph, assignment, combined, num_parts, rng)
+            if moved == 0:
+                break
+        return Partition(graph=graph, assignment=assignment, num_parts=num_parts)
+
+    # ------------------------------------------------------------------ #
+    def _swap_round(self, graph: Graph, assignment: np.ndarray, combined: np.ndarray,
+                    num_parts: int, rng: np.random.Generator) -> int:
+        """One round of pairwise balanced exchanges; returns #vertices moved."""
+        n = graph.num_vertices
+        gains = np.zeros(n)
+        preferred = assignment.copy()
+        for vertex in range(n):
+            neighbors = graph.neighbors(vertex)
+            if neighbors.size == 0:
+                continue
+            counts = np.bincount(assignment[neighbors], minlength=num_parts)
+            target = int(np.argmax(counts))
+            gains[vertex] = counts[target] - counts[assignment[vertex]]
+            preferred[vertex] = target
+
+        moved = 0
+        wants_to_move = np.flatnonzero((preferred != assignment) & (gains > 0))
+        if wants_to_move.size == 0:
+            return 0
+        # Process part pairs: exchange equal combined weight in both directions.
+        for part_a in range(num_parts):
+            for part_b in range(part_a + 1, num_parts):
+                a_to_b = wants_to_move[(assignment[wants_to_move] == part_a)
+                                       & (preferred[wants_to_move] == part_b)]
+                b_to_a = wants_to_move[(assignment[wants_to_move] == part_b)
+                                       & (preferred[wants_to_move] == part_a)]
+                if a_to_b.size == 0 or b_to_a.size == 0:
+                    continue
+                a_to_b = a_to_b[np.argsort(gains[a_to_b])[::-1]]
+                b_to_a = b_to_a[np.argsort(gains[b_to_a])[::-1]]
+                budget = min(combined[a_to_b].sum(), combined[b_to_a].sum())
+                moved += self._apply_moves(assignment, a_to_b, part_b, combined, budget)
+                moved += self._apply_moves(assignment, b_to_a, part_a, combined, budget)
+        return moved
+
+    @staticmethod
+    def _apply_moves(assignment: np.ndarray, candidates: np.ndarray, target: int,
+                     combined: np.ndarray, budget: float) -> int:
+        """Move candidates (in order) to ``target`` until the budget is used."""
+        spent = 0.0
+        moved = 0
+        for vertex in candidates:
+            if spent + combined[vertex] > budget:
+                break
+            assignment[vertex] = target
+            spent += combined[vertex]
+            moved += 1
+        return moved

@@ -1,0 +1,97 @@
+"""Spinner: scalable label-propagation partitioning (Martella et al. [33]).
+
+Each vertex holds a label (its current part).  In every round vertices
+adopt the label that is most frequent among their neighbors, discounted by
+a penalty that grows with the load of the target part.  Spinner balances on
+a *single* capacity measure (edges, i.e. vertex degrees); it "does not
+enforce a strict balance across partitions but integrates score functions
+that penalize imbalanced solutions".
+
+As the paper's Figure 4 shows, this single-dimension penalty cannot deliver
+multi-dimensional balance on skewed graphs: partitions end up with
+reasonably even edge counts but very uneven vertex counts.  The
+implementation mirrors that behaviour — the balance penalty uses only the
+``balance_dimension``-th row of the weight matrix (degree weights by
+default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from .base import Partitioner
+
+__all__ = ["SpinnerPartitioner"]
+
+
+class SpinnerPartitioner(Partitioner):
+    """Label propagation with a load penalty on one capacity dimension."""
+
+    name = "Spinner"
+
+    def __init__(self, iterations: int = 30, balance_dimension: int = 1,
+                 penalty_strength: float = 0.5, capacity_slack: float = 0.05,
+                 seed: int = 0):
+        """``balance_dimension`` indexes the weight row used as capacity.
+
+        The default (1) corresponds to degree weights when the standard
+        ``[unit, degree, ...]`` weight stack is used; if the weight matrix
+        has fewer rows the last row is used.  ``capacity_slack`` is
+        Spinner's additional capacity headroom and ``penalty_strength`` the
+        relative weight of the balance term in the label score.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self._iterations = iterations
+        self._balance_dimension = balance_dimension
+        self._penalty_strength = penalty_strength
+        self._capacity_slack = capacity_slack
+        self._seed = seed
+
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        weights, num_parts = self._validate(graph, weights, num_parts)
+        n = graph.num_vertices
+        rng = np.random.default_rng(self._seed)
+        if n == 0:
+            return Partition(graph=graph, assignment=np.empty(0, dtype=np.int64),
+                             num_parts=num_parts)
+
+        capacity_row = min(self._balance_dimension, weights.shape[0] - 1)
+        capacity_weights = weights[capacity_row]
+        # Spinner's capacity: the ideal load plus a small slack.
+        capacity = (1.0 + self._capacity_slack) * capacity_weights.sum() / num_parts
+
+        assignment = rng.integers(0, num_parts, size=n).astype(np.int64)
+        loads = np.bincount(assignment, weights=capacity_weights, minlength=num_parts)
+
+        for _ in range(self._iterations):
+            order = rng.permutation(n)
+            changed = 0
+            for vertex in order:
+                neighbors = graph.neighbors(vertex)
+                if neighbors.size == 0:
+                    continue
+                counts = np.bincount(assignment[neighbors], minlength=num_parts)
+                # Spinner's score: locality term (fraction of neighbors with
+                # the label) plus a balance term that decreases linearly with
+                # the remaining capacity of the label's partition.
+                locality_term = counts / neighbors.size
+                balance_term = 1.0 - loads / max(capacity, 1e-12)
+                scores = locality_term + self._penalty_strength * balance_term
+                # Never move into a partition that is already above capacity.
+                scores[loads + capacity_weights[vertex] > capacity] = -np.inf
+                current = assignment[vertex]
+                best = int(np.argmax(scores))
+                if np.isinf(scores[best]):
+                    continue
+                if best != current and scores[best] > scores[current] + 1e-12:
+                    loads[current] -= capacity_weights[vertex]
+                    loads[best] += capacity_weights[vertex]
+                    assignment[vertex] = best
+                    changed += 1
+            if changed == 0:
+                break
+
+        return Partition(graph=graph, assignment=assignment, num_parts=num_parts)

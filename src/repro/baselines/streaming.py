@@ -1,0 +1,140 @@
+"""Streaming (single-pass) partitioners: LDG and Fennel.
+
+The paper's related-work section cites streaming graph partitioning
+(Fennel [41], and the streaming studies [3, 20, 35]) as the other family of
+scalable one-dimensional partitioners.  They are included here both as
+additional baselines and because they are the natural choice when the graph
+does not fit in memory: vertices arrive one at a time and are assigned
+greedily, never to be moved again.
+
+* **LDG** (Linear Deterministic Greedy, Stanton & Kliot): vertex ``v`` goes
+  to the part maximizing ``|N(v) ∩ P| · (1 − |P| / capacity)``.
+* **Fennel** (Tsourakakis et al.): vertex ``v`` goes to the part maximizing
+  ``|N(v) ∩ P| − α γ |P|^{γ−1}`` with the standard
+  ``α = m k^{γ−1} / n^γ``, ``γ = 1.5``.
+
+Both balance a *single* capacity dimension (vertex count by default, or any
+one row of the weight matrix), so — like Spinner and SHP — they cannot
+guarantee multi-dimensional balance; the experiment harness uses them as
+additional points of comparison for Figure 4 style studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from .base import Partitioner
+
+__all__ = ["LinearDeterministicGreedy", "FennelPartitioner"]
+
+
+def _stream_order(num_vertices: int, order: str, rng: np.random.Generator,
+                  graph: Graph) -> np.ndarray:
+    """Vertex arrival order: 'random', 'natural' (id order), or 'bfs'."""
+    if order == "natural":
+        return np.arange(num_vertices)
+    if order == "random":
+        return rng.permutation(num_vertices)
+    if order == "bfs":
+        visited = np.zeros(num_vertices, dtype=bool)
+        sequence = np.empty(num_vertices, dtype=np.int64)
+        position = 0
+        for start in rng.permutation(num_vertices):
+            if visited[start]:
+                continue
+            queue = [int(start)]
+            visited[start] = True
+            while queue:
+                vertex = queue.pop(0)
+                sequence[position] = vertex
+                position += 1
+                for neighbor in graph.neighbors(vertex):
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        queue.append(int(neighbor))
+        return sequence
+    raise ValueError(f"unknown stream order {order!r}; use 'random', 'natural', or 'bfs'")
+
+
+class _StreamingBase(Partitioner):
+    """Shared single-pass assignment loop; subclasses provide the score."""
+
+    def __init__(self, balance_dimension: int = 0, stream_order: str = "random",
+                 seed: int = 0):
+        self._balance_dimension = balance_dimension
+        self._stream_order = stream_order
+        self._seed = seed
+
+    def _score(self, neighbor_counts: np.ndarray, loads: np.ndarray,
+               capacity: float, num_edges: int, num_vertices: int,
+               num_parts: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        weights, num_parts = self._validate(graph, weights, num_parts)
+        n = graph.num_vertices
+        rng = np.random.default_rng(self._seed)
+        if n == 0:
+            return Partition(graph=graph, assignment=np.empty(0, dtype=np.int64),
+                             num_parts=num_parts)
+
+        capacity_row = min(self._balance_dimension, weights.shape[0] - 1)
+        capacity_weights = weights[capacity_row]
+        capacity = 1.05 * capacity_weights.sum() / num_parts
+
+        assignment = np.full(n, -1, dtype=np.int64)
+        loads = np.zeros(num_parts)
+        order = _stream_order(n, self._stream_order, rng, graph)
+        for vertex in order:
+            neighbors = graph.neighbors(vertex)
+            placed = neighbors[assignment[neighbors] >= 0]
+            neighbor_counts = np.bincount(assignment[placed], minlength=num_parts) \
+                if placed.size else np.zeros(num_parts)
+            scores = self._score(neighbor_counts, loads, capacity,
+                                 graph.num_edges, n, num_parts)
+            # Ties (in particular the "no placed neighbors yet" case) go to
+            # the least-loaded part, as in the original streaming heuristics.
+            scores = scores - 1e-9 * loads / max(capacity, 1e-12)
+            # Full parts are never eligible (hard capacity).
+            scores = np.where(loads + capacity_weights[vertex] > capacity, -np.inf, scores)
+            if placed.size == 0 or np.all(np.isinf(scores)):
+                target = int(np.argmin(loads))
+            else:
+                target = int(np.argmax(scores))
+            assignment[vertex] = target
+            loads[target] += capacity_weights[vertex]
+        return Partition(graph=graph, assignment=assignment, num_parts=num_parts)
+
+
+class LinearDeterministicGreedy(_StreamingBase):
+    """LDG: neighbor count weighted by the remaining capacity fraction."""
+
+    name = "LDG"
+
+    def _score(self, neighbor_counts, loads, capacity, num_edges, num_vertices,
+               num_parts) -> np.ndarray:
+        remaining_fraction = 1.0 - loads / max(capacity, 1e-12)
+        return neighbor_counts * np.maximum(remaining_fraction, 0.0)
+
+
+class FennelPartitioner(_StreamingBase):
+    """Fennel: neighbor count minus a superlinear load penalty."""
+
+    name = "Fennel"
+
+    def __init__(self, gamma: float = 1.5, balance_dimension: int = 0,
+                 stream_order: str = "random", seed: int = 0):
+        super().__init__(balance_dimension=balance_dimension,
+                         stream_order=stream_order, seed=seed)
+        if gamma <= 1.0:
+            raise ValueError("gamma must be greater than 1")
+        self._gamma = gamma
+
+    def _score(self, neighbor_counts, loads, capacity, num_edges, num_vertices,
+               num_parts) -> np.ndarray:
+        alpha = (num_edges * num_parts ** (self._gamma - 1.0)
+                 / max(num_vertices ** self._gamma, 1.0))
+        penalty = alpha * self._gamma * np.power(np.maximum(loads, 0.0), self._gamma - 1.0)
+        return neighbor_counts - penalty

@@ -1,0 +1,153 @@
+"""Command-line interface for partitioning graphs from edge-list files.
+
+This is the entry point a downstream user would reach for first::
+
+    python -m repro.cli partition graph.txt --parts 8 --weights unit degree \
+        --epsilon 0.05 --output parts.txt
+    python -m repro.cli evaluate graph.txt parts.txt --weights unit degree
+    python -m repro.cli generate livejournal --scale 1.0 --output graph.txt
+
+Subcommands
+-----------
+``partition``
+    Read a SNAP-style edge list, partition it with GD (or a baseline chosen
+    via ``--algorithm``), write one part id per line, and print the quality
+    metrics.
+``evaluate``
+    Score an existing assignment file against a graph.
+``generate``
+    Materialize one of the synthetic dataset presets as an edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import (
+    BalancedLabelPropagation,
+    FennelPartitioner,
+    HashPartitioner,
+    LinearDeterministicGreedy,
+    MetisLikePartitioner,
+    SocialHashPartitioner,
+    SpinnerPartitioner,
+)
+from .core import GDConfig, GDPartitioner
+from .graphs import load_dataset, read_edge_list, read_partition, weight_matrix, \
+    write_edge_list, write_partition
+from .graphs.weights import WEIGHT_FUNCTIONS
+from .partition import Partition, edge_locality, imbalance
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "gd": None,  # handled separately (needs epsilon / iterations)
+    "hash": HashPartitioner,
+    "spinner": SpinnerPartitioner,
+    "blp": BalancedLabelPropagation,
+    "shp": SocialHashPartitioner,
+    "metis": MetisLikePartitioner,
+    "fennel": FennelPartitioner,
+    "ldg": LinearDeterministicGreedy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Multi-dimensional balanced graph partitioning (GD)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    partition = subparsers.add_parser("partition", help="partition an edge-list file")
+    partition.add_argument("graph", help="path to a whitespace edge list")
+    partition.add_argument("--parts", type=int, default=2, help="number of parts k")
+    partition.add_argument("--weights", nargs="+", default=["unit", "degree"],
+                           choices=sorted(WEIGHT_FUNCTIONS),
+                           help="balance dimensions (one or more weight functions)")
+    partition.add_argument("--epsilon", type=float, default=0.05,
+                           help="allowed relative imbalance")
+    partition.add_argument("--iterations", type=int, default=100,
+                           help="GD iterations")
+    partition.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="gd",
+                           help="partitioning algorithm")
+    partition.add_argument("--seed", type=int, default=0)
+    partition.add_argument("--output", help="write one part id per line to this file")
+
+    evaluate = subparsers.add_parser("evaluate", help="score an existing assignment")
+    evaluate.add_argument("graph", help="path to a whitespace edge list")
+    evaluate.add_argument("assignment", help="path to a part-per-line file")
+    evaluate.add_argument("--weights", nargs="+", default=["unit", "degree"],
+                          choices=sorted(WEIGHT_FUNCTIONS))
+
+    generate = subparsers.add_parser("generate", help="write a synthetic dataset preset")
+    generate.add_argument("preset", help="dataset preset name (e.g. livejournal, fb-80)")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="edge-list file to write")
+    return parser
+
+
+def _report(partition: Partition, weights) -> str:
+    values = imbalance(partition, weights)
+    lines = [f"parts:          {partition.num_parts}",
+             f"edge locality:  {edge_locality(partition):.2f}%"]
+    for index, value in enumerate(values):
+        lines.append(f"imbalance[{index}]:   {100.0 * value:.2f}%")
+    return "\n".join(lines)
+
+
+def _run_partition(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    weights = weight_matrix(graph, args.weights)
+    if args.algorithm == "gd":
+        partitioner = GDPartitioner(
+            epsilon=args.epsilon,
+            config=GDConfig(iterations=args.iterations, seed=args.seed))
+    else:
+        partitioner = _ALGORITHMS[args.algorithm](seed=args.seed) \
+            if args.algorithm != "hash" else HashPartitioner(salt=args.seed)
+    partition = partitioner.partition(graph, weights, args.parts)
+    print(_report(partition, weights))
+    if args.output:
+        write_partition(partition.assignment, args.output)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    weights = weight_matrix(graph, args.weights)
+    assignment = read_partition(args.assignment)
+    if assignment.shape[0] != graph.num_vertices:
+        print("error: assignment length does not match the number of vertices",
+              file=sys.stderr)
+        return 2
+    partition = Partition(graph=graph, assignment=assignment,
+                          num_parts=int(assignment.max()) + 1)
+    print(_report(partition, weights))
+    return 0
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.preset, scale=args.scale, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "partition":
+        return _run_partition(args)
+    if args.command == "evaluate":
+        return _run_evaluate(args)
+    if args.command == "generate":
+        return _run_generate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: projected-gradient-descent partitioning."""
+
+from .config import GDConfig
+from .relaxation import QuadraticRelaxation
+from .noise import NoiseSchedule
+from .step import StepSizeController, target_step_length
+from .rounding import balance_repair, deterministic_round, randomized_round
+from .gd import BisectionResult, GDPartitioner, IterationRecord, gd_bisect
+from .recursive import recursive_bisection
+from .multiway import MultiwayResult, gd_multiway, project_rows_to_simplex
+from .projection import (
+    AlternatingProjector,
+    DykstraProjector,
+    ExactProjector,
+    FeasibleRegion,
+    Projector,
+    make_projector,
+)
+
+__all__ = [
+    "GDConfig",
+    "QuadraticRelaxation",
+    "NoiseSchedule",
+    "StepSizeController",
+    "target_step_length",
+    "balance_repair",
+    "deterministic_round",
+    "randomized_round",
+    "BisectionResult",
+    "GDPartitioner",
+    "IterationRecord",
+    "gd_bisect",
+    "recursive_bisection",
+    "MultiwayResult",
+    "gd_multiway",
+    "project_rows_to_simplex",
+    "AlternatingProjector",
+    "DykstraProjector",
+    "ExactProjector",
+    "FeasibleRegion",
+    "Projector",
+    "make_projector",
+]

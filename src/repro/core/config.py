@@ -1,0 +1,105 @@
+"""Configuration of the projected-gradient-descent partitioner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["GDConfig"]
+
+#: Projection methods accepted by :class:`GDConfig.projection`.
+PROJECTION_METHODS = (
+    "exact",
+    "alternating",
+    "alternating_oneshot",
+    "dykstra",
+)
+
+
+@dataclass(frozen=True)
+class GDConfig:
+    """Parameters of Algorithm 1 (GD) and its implementation details (§3).
+
+    Attributes
+    ----------
+    iterations:
+        Number of projected-gradient iterations ``I`` (the paper uses 100).
+    step_length_factor:
+        Target Euclidean step length per iteration, in units of
+        ``xi = sqrt(n) / iterations``.  The paper finds ``2 * xi`` works well
+        across graphs (Figure 8), so the default is 2.
+    adaptive_step:
+        Rescale the gradient every iteration so that the realized step
+        ``||x(t+1) - x(t)||`` stays close to the target (§3.2).  When False
+        a constant step size derived from the first iteration is used.
+    vertex_fixing:
+        Freeze vertices whose relaxed value is nearly integral so they stop
+        participating in the gradient and projection steps (§3.2).
+    fixing_threshold:
+        ``|x_i| >= fixing_threshold`` marks vertex ``i`` as integral.
+    fixing_start_fraction:
+        Fraction of the iteration budget after which fixing may begin
+        (fixing from the very first iterations would freeze noise).
+    projection:
+        One of ``"exact"``, ``"alternating"`` (to convergence),
+        ``"alternating_oneshot"`` (paper default for large graphs), or
+        ``"dykstra"``.
+    projection_epsilon:
+        Allowed imbalance used *inside* the projection.  The paper observes
+        that a larger allowed imbalance during the descent gives the
+        algorithm more freedom (Figure 10); the final solution is still
+        repaired to the user-requested ``epsilon``.  ``None`` means "use the
+        user-requested epsilon".
+    noise_std:
+        Standard deviation of the Gaussian noise added at iteration 0;
+        ``None`` picks ``1 / sqrt(n)`` which is enough to leave the saddle
+        at the origin.
+    noise_every_iteration:
+        Add noise at every iteration instead of only the first (ablation).
+    final_projection_rounds:
+        Number of full alternating-projection sweeps applied after the last
+        iteration to clean up accumulated imbalance (§3.1).
+    balance_repair:
+        Run a greedy repair pass after randomized rounding so the integral
+        solution satisfies the requested epsilon balance.
+    record_history:
+        Record per-iteration edge locality and imbalance (used by the
+        convergence figures 8--10 and 15--17).
+    seed:
+        Seed of the random number generator (noise and rounding).
+    """
+
+    iterations: int = 100
+    step_length_factor: float = 2.0
+    adaptive_step: bool = True
+    vertex_fixing: bool = True
+    fixing_threshold: float = 0.99
+    fixing_start_fraction: float = 0.25
+    projection: str = "alternating_oneshot"
+    projection_epsilon: float | None = None
+    noise_std: float | None = None
+    noise_every_iteration: bool = False
+    final_projection_rounds: int = 50
+    balance_repair: bool = True
+    record_history: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if self.step_length_factor <= 0:
+            raise ValueError("step_length_factor must be positive")
+        if not 0.0 < self.fixing_threshold <= 1.0:
+            raise ValueError("fixing_threshold must be in (0, 1]")
+        if not 0.0 <= self.fixing_start_fraction <= 1.0:
+            raise ValueError("fixing_start_fraction must be in [0, 1]")
+        if self.projection not in PROJECTION_METHODS:
+            raise ValueError(f"projection must be one of {PROJECTION_METHODS}, "
+                             f"got {self.projection!r}")
+        if self.projection_epsilon is not None and self.projection_epsilon <= 0:
+            raise ValueError("projection_epsilon must be positive when given")
+        if self.final_projection_rounds < 0:
+            raise ValueError("final_projection_rounds must be non-negative")
+
+    def with_updates(self, **changes) -> "GDConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,230 @@
+"""Algorithm 1: d-dimensional balanced graph 2-partitioning via randomized
+projected gradient descent.
+
+Each iteration performs the three steps of the paper:
+
+1. **noise** — add Gaussian noise (only at the first iteration by default)
+   to escape the saddle point at the origin;
+2. **gradient** — ascend the relaxed objective, ``y = z + γ_t A z``;
+3. **projection** — project back onto the feasible region
+   ``K = B∞ ∩ ⋂_j S^j_ε`` with the configured projection method.
+
+Implementation details from Section 3 are included: adaptive step sizes
+that keep the realized Euclidean progress per iteration constant, fixing of
+near-integral vertices (they stop participating in the gradient and
+projection), a final convergent projection pass that removes the residual
+imbalance accumulated by one-shot alternating projections, and randomized
+rounding with an optional greedy balance repair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.metrics import edge_locality, max_imbalance
+from ..partition.partition import Partition
+from ..partition.validation import validate_epsilon, validate_weights
+from .config import GDConfig
+from .noise import NoiseSchedule
+from .projection import AlternatingProjector, FeasibleRegion, make_projector
+from .relaxation import QuadraticRelaxation
+from .rounding import balance_repair, deterministic_round, randomized_round
+from .step import StepSizeController, target_step_length
+
+__all__ = ["IterationRecord", "BisectionResult", "gd_bisect", "GDPartitioner"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Per-iteration diagnostics (used by the convergence figures)."""
+
+    iteration: int
+    edge_locality_pct: float
+    max_imbalance_pct: float
+    step_length: float
+    num_fixed: int
+    objective: float
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """Outcome of one GD bisection run."""
+
+    partition: Partition
+    fractional: np.ndarray = field(repr=False)
+    history: list[IterationRecord] = field(repr=False)
+    epsilon: float
+    config: GDConfig
+    elapsed_seconds: float
+
+
+def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRelaxation,
+                    x: np.ndarray, iteration: int, step_length: float,
+                    num_fixed: int) -> IterationRecord:
+    sides = deterministic_round(x)
+    snapshot = Partition.from_sides(graph, sides)
+    return IterationRecord(
+        iteration=iteration,
+        edge_locality_pct=edge_locality(snapshot),
+        max_imbalance_pct=100.0 * max_imbalance(snapshot, weights),
+        step_length=step_length,
+        num_fixed=num_fixed,
+        objective=relaxation.objective(x),
+    )
+
+
+def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
+              config: GDConfig | None = None,
+              target_fraction: float = 0.5) -> BisectionResult:
+    """Partition ``graph`` into two parts balanced along every weight row.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    weights:
+        ``(d, n)`` (or ``(n,)``) strictly positive weight matrix — one row
+        per balance dimension.
+    epsilon:
+        Allowed relative imbalance of the final partition.
+    config:
+        Algorithm parameters; defaults to :class:`GDConfig()`.
+    target_fraction:
+        Fraction of each weight dimension that part ``V₁`` should receive
+        (0.5 for an even split).  Used by recursive partitioning into a
+        number of parts that is not a power of two.
+    """
+    config = config if config is not None else GDConfig()
+    epsilon = validate_epsilon(epsilon)
+    weights = validate_weights(graph, weights)
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target_fraction must be strictly between 0 and 1")
+
+    start_time = time.perf_counter()
+    n = graph.num_vertices
+    rng = np.random.default_rng(config.seed)
+    history: list[IterationRecord] = []
+
+    if n == 0:
+        empty = Partition(graph=graph, assignment=np.empty(0, dtype=np.int64), num_parts=2)
+        return BisectionResult(partition=empty, fractional=np.empty(0), history=history,
+                               epsilon=epsilon, config=config,
+                               elapsed_seconds=time.perf_counter() - start_time)
+
+    relaxation = QuadraticRelaxation(graph)
+    projection_epsilon = (config.projection_epsilon
+                          if config.projection_epsilon is not None else epsilon)
+
+    # The balance band: ⟨w_j, x⟩ must lie within eps*W_j of the target
+    # (2 * fraction − 1) * W_j.  fraction = 0.5 recovers the symmetric band.
+    totals = weights.sum(axis=1)
+    center = (2.0 * target_fraction - 1.0) * totals
+    slack = projection_epsilon * totals
+    region = FeasibleRegion(weights=weights, lower=center - slack, upper=center + slack)
+    final_region = FeasibleRegion(weights=weights,
+                                  lower=center - epsilon * totals,
+                                  upper=center + epsilon * totals)
+
+    noise = NoiseSchedule(n, std=config.noise_std,
+                          every_iteration=config.noise_every_iteration, rng=rng)
+    step_target = target_step_length(n, config.iterations, config.step_length_factor)
+    controller = StepSizeController(step_target, adaptive=config.adaptive_step)
+
+    x = np.zeros(n)
+    fixed = np.zeros(n, dtype=bool)
+    fixing_start = int(config.fixing_start_fraction * config.iterations)
+    projector = make_projector(config.projection, region)
+
+    for iteration in range(config.iterations):
+        free = ~fixed
+        z = x.copy()
+        z[free] += noise.sample(iteration)[free]
+
+        gradient = relaxation.gradient(z)
+        gamma = controller.step_size(gradient[free] if free.any() else gradient)
+        y = z + gamma * gradient
+        y[fixed] = x[fixed]
+
+        if fixed.any():
+            sub_region = region.restrict(free, x[fixed])
+            sub_projector = make_projector(config.projection, sub_region)
+            new_x = x.copy()
+            new_x[free] = sub_projector.project(y[free])
+        else:
+            new_x = projector.project(y)
+
+        realized = float(np.linalg.norm(new_x - x))
+        controller.update(realized)
+        x = new_x
+
+        if config.vertex_fixing and iteration >= fixing_start:
+            newly_fixed = (~fixed) & (np.abs(x) >= config.fixing_threshold)
+            if newly_fixed.any():
+                x[newly_fixed] = np.where(x[newly_fixed] >= 0.0, 1.0, -1.0)
+                fixed |= newly_fixed
+
+        if config.record_history:
+            history.append(_history_record(graph, weights, relaxation, x, iteration,
+                                           realized, int(fixed.sum())))
+
+    # Final clean-up: one-shot alternating projections accumulate a residual
+    # imbalance; run convergent sweeps on the free vertices to remove it.
+    if config.final_projection_rounds > 0:
+        free = ~fixed
+        if free.any():
+            sub_region = final_region.restrict(free, x[fixed]) if fixed.any() else final_region
+            cleaner = AlternatingProjector(sub_region, one_shot=False,
+                                           use_band_center=False,
+                                           max_rounds=config.final_projection_rounds)
+            x[free] = cleaner.project_to_feasibility(x[free])
+
+    sides = randomized_round(x, rng)
+    if config.balance_repair:
+        sides = balance_repair(graph, sides, weights, epsilon, center=center)
+    partition = Partition.from_sides(graph, sides)
+
+    if config.record_history:
+        history.append(_history_record(graph, weights, relaxation, sides,
+                                       config.iterations, 0.0, int(fixed.sum())))
+
+    return BisectionResult(
+        partition=partition,
+        fractional=x,
+        history=history,
+        epsilon=epsilon,
+        config=config,
+        elapsed_seconds=time.perf_counter() - start_time,
+    )
+
+
+class GDPartitioner:
+    """Object-oriented wrapper around :func:`gd_bisect` / recursive k-way.
+
+    This is the primary public entry point::
+
+        partitioner = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=100))
+        partition = partitioner.partition(graph, weights, num_parts=8)
+    """
+
+    name = "GD"
+
+    def __init__(self, epsilon: float = 0.05, config: GDConfig | None = None):
+        self.epsilon = validate_epsilon(epsilon)
+        self.config = config if config is not None else GDConfig()
+
+    def bisect(self, graph: Graph, weights: np.ndarray,
+               target_fraction: float = 0.5) -> BisectionResult:
+        """Two-way partition with full diagnostics."""
+        return gd_bisect(graph, weights, self.epsilon, self.config, target_fraction)
+
+    def partition(self, graph: Graph, weights: np.ndarray, num_parts: int = 2) -> Partition:
+        """Partition into ``num_parts`` parts (recursive bisection for k > 2)."""
+        from .recursive import recursive_bisection  # local import avoids a cycle
+
+        if num_parts == 2:
+            return self.bisect(graph, weights).partition
+        return recursive_bisection(graph, weights, num_parts, self.epsilon, self.config)

@@ -1,0 +1,48 @@
+"""Projection-step implementations for the GD partitioner (§2.2--2.3, §3.1)."""
+
+from .base import FeasibleRegion, Projector
+from .box import project_onto_box, truncate
+from .halfspace import project_onto_band, project_onto_hyperplane
+from .exact_1d import project_exact_1d, solve_lambda_1d, weighted_truncated_sum
+from .exact_2d import project_exact_2d, solve_lambda_2d
+from .nested import project_equality, solve_equality_system
+from .exact import ExactProjector
+from .alternating import AlternatingProjector
+from .dykstra import DykstraProjector
+
+__all__ = [
+    "FeasibleRegion",
+    "Projector",
+    "project_onto_box",
+    "truncate",
+    "project_onto_band",
+    "project_onto_hyperplane",
+    "project_exact_1d",
+    "solve_lambda_1d",
+    "weighted_truncated_sum",
+    "project_exact_2d",
+    "solve_lambda_2d",
+    "project_equality",
+    "solve_equality_system",
+    "ExactProjector",
+    "AlternatingProjector",
+    "DykstraProjector",
+    "make_projector",
+]
+
+
+def make_projector(method: str, region: FeasibleRegion) -> Projector:
+    """Build a projector by name.
+
+    ``method`` is one of ``"exact"``, ``"alternating"``,
+    ``"alternating_oneshot"``, or ``"dykstra"``.
+    """
+    if method == "exact":
+        return ExactProjector(region)
+    if method == "alternating":
+        return AlternatingProjector(region, one_shot=False)
+    if method == "alternating_oneshot":
+        return AlternatingProjector(region, one_shot=True)
+    if method == "dykstra":
+        return DykstraProjector(region)
+    raise ValueError(f"unknown projection method {method!r}")

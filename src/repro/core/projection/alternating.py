@@ -1,0 +1,90 @@
+"""Alternating projections onto the feasible region (§3.1).
+
+The feasible region is an intersection of convex sets (the cube and one
+slab per balance dimension).  Alternating projections — repeatedly
+projecting onto each set in turn — converges to *a* point of the
+intersection, though not necessarily the closest one.  The paper uses two
+variants:
+
+* **one-shot** (the default on large graphs): project onto each balance
+  constraint once and then onto the cube, accepting a small residual
+  infeasibility that is cleaned up at the end of the optimization;
+* **convergent**: sweep until the point is feasible.
+
+As in the paper, projecting onto the *center* of each slab (``S^j_0``,
+i.e. the hyperplane through the balance target) rather than onto the slab
+itself gives slightly better final balance and is enabled by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FeasibleRegion, Projector
+from .box import project_onto_box
+from .halfspace import project_onto_band, project_onto_hyperplane
+
+__all__ = ["AlternatingProjector"]
+
+
+class AlternatingProjector(Projector):
+    """One-shot or convergent alternating projections."""
+
+    def __init__(self, region: FeasibleRegion, one_shot: bool = True,
+                 use_band_center: bool = True, max_rounds: int = 1000,
+                 tolerance: float = 1e-9):
+        super().__init__(region)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._one_shot = one_shot
+        self._use_band_center = use_band_center
+        self._max_rounds = max_rounds
+        self._tolerance = tolerance
+
+    @property
+    def one_shot(self) -> bool:
+        return self._one_shot
+
+    def _sweep(self, x: np.ndarray) -> np.ndarray:
+        region = self.region
+        for j in range(region.num_dimensions):
+            weights = region.weights[j]
+            if self._use_band_center:
+                center = 0.5 * (region.lower[j] + region.upper[j])
+                x = project_onto_hyperplane(x, weights, center)
+            else:
+                x = project_onto_band(x, weights, region.lower[j], region.upper[j])
+        return project_onto_box(x)
+
+    def project(self, point: np.ndarray) -> np.ndarray:
+        x = np.asarray(point, dtype=np.float64)
+        if self.region.num_vertices != x.shape[0]:
+            raise ValueError("point dimension does not match the feasible region")
+        x = self._sweep(x)
+        if self._one_shot:
+            return x
+        for _ in range(self._max_rounds - 1):
+            if self.region.contains(x, self._tolerance):
+                break
+            x = self._sweep(x)
+        return x
+
+    def project_to_feasibility(self, point: np.ndarray) -> np.ndarray:
+        """Convergent sweeps regardless of the one-shot setting.
+
+        Used for the final clean-up pass of the optimizer: intermediate
+        iterations may leave a small residual imbalance which this removes.
+        """
+        x = np.asarray(point, dtype=np.float64)
+        for _ in range(self._max_rounds):
+            if self.region.contains(x, self._tolerance):
+                return x
+            # For feasibility we always project onto the slabs (not their
+            # centers): the slab is the actual constraint.
+            for j in range(self.region.num_dimensions):
+                x = project_onto_band(x, self.region.weights[j],
+                                      self.region.lower[j], self.region.upper[j])
+            x = project_onto_box(x)
+        return x

@@ -1,0 +1,60 @@
+"""Dykstra's projection algorithm (§3.1, Table 1).
+
+Unlike plain alternating projections, Dykstra's algorithm converges to the
+*exact* Euclidean projection onto the intersection of convex sets, at the
+cost of maintaining one correction vector per set.  In the paper's
+experiments it produces the same results as the exact projection, and we
+use it both as an independent implementation to cross-check the exact
+projector and as a user-selectable projection method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FeasibleRegion, Projector
+from .box import project_onto_box
+from .halfspace import project_onto_band
+
+__all__ = ["DykstraProjector"]
+
+
+class DykstraProjector(Projector):
+    """Dykstra's alternating projection with correction terms."""
+
+    def __init__(self, region: FeasibleRegion, max_rounds: int = 500,
+                 tolerance: float = 1e-10):
+        super().__init__(region)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._max_rounds = max_rounds
+        self._tolerance = tolerance
+
+    def project(self, point: np.ndarray) -> np.ndarray:
+        x = np.asarray(point, dtype=np.float64).copy()
+        region = self.region
+        if region.num_vertices != x.shape[0]:
+            raise ValueError("point dimension does not match the feasible region")
+
+        num_sets = region.num_dimensions + 1  # one slab per dimension + the cube
+        corrections = [np.zeros_like(x) for _ in range(num_sets)]
+        scale = max(float(np.linalg.norm(x)), 1.0)
+
+        for _ in range(self._max_rounds):
+            previous = x.copy()
+            for set_index in range(num_sets):
+                shifted = x + corrections[set_index]
+                if set_index < region.num_dimensions:
+                    projected = project_onto_band(
+                        shifted, region.weights[set_index],
+                        region.lower[set_index], region.upper[set_index])
+                else:
+                    projected = project_onto_box(shifted)
+                corrections[set_index] = shifted - projected
+                x = projected
+            change = float(np.linalg.norm(x - previous))
+            if change <= self._tolerance * scale and region.contains(x, 1e-7):
+                break
+        return x

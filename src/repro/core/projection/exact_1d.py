@@ -1,0 +1,91 @@
+"""Exact projection machinery for a single balance constraint (§2.3, d = 1).
+
+Given ``y ∈ Rⁿ``, positive weights ``w`` and a target ``c``, the projection
+with one active balance constraint has the closed form
+``x_i = [y_i − λ w_i]`` (``[z]`` is truncation to ``[-1, 1]``) where ``λ``
+solves ``h(λ) = Σ_i w_i [y_i − λ w_i] = c``.
+
+``h`` is a non-increasing piecewise-linear function with breakpoints at
+``(y_i ∓ 1) / w_i``; the solver sorts the breakpoints, locates the segment
+containing the target by binary search, and solves the linear equation
+inside it — ``O(n log n)`` total, matching Theorem 1.1 for d = 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .box import truncate
+
+__all__ = ["weighted_truncated_sum", "solve_lambda_1d", "project_exact_1d"]
+
+
+def weighted_truncated_sum(y: np.ndarray, weights: np.ndarray, lam: float) -> float:
+    """``h(λ) = Σ_i w_i [y_i − λ w_i]``."""
+    return float(weights @ truncate(y - lam * weights))
+
+
+def solve_lambda_1d(y: np.ndarray, weights: np.ndarray, target: float) -> float:
+    """Solve ``h(λ) = target`` exactly.
+
+    If the target is outside the attainable range ``[-Σw_i, Σw_i]`` the λ
+    that gets closest (all coordinates saturated) is returned.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if y.shape != weights.shape:
+        raise ValueError("y and weights must have the same shape")
+    if np.any(weights <= 0):
+        raise ValueError("weights must be strictly positive")
+    if y.size == 0:
+        return 0.0
+
+    total = float(weights.sum())
+    # h(-inf) = +total (all x_i = +1), h(+inf) = -total.
+    if target >= total:
+        return float(((y - 1.0) / weights).min()) - 1.0
+    if target <= -total:
+        return float(((y + 1.0) / weights).max()) + 1.0
+
+    breakpoints = np.concatenate([(y - 1.0) / weights, (y + 1.0) / weights])
+    breakpoints.sort()
+
+    # Binary search for the segment [breakpoints[k], breakpoints[k+1]]
+    # containing the solution.  h is non-increasing, so we look for the
+    # right-most breakpoint with h(breakpoint) >= target.
+    lo, hi = 0, breakpoints.size - 1
+    if weighted_truncated_sum(y, weights, breakpoints[0]) < target:
+        # Solution lies left of all breakpoints where h is constant = total;
+        # handled above, so this means target == h(first breakpoint) within fp.
+        lo_bound, hi_bound = breakpoints[0] - 1.0, breakpoints[0]
+    elif weighted_truncated_sum(y, weights, breakpoints[-1]) > target:
+        lo_bound, hi_bound = breakpoints[-1], breakpoints[-1] + 1.0
+    else:
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if weighted_truncated_sum(y, weights, breakpoints[mid]) >= target:
+                lo = mid
+            else:
+                hi = mid
+        lo_bound, hi_bound = breakpoints[lo], breakpoints[hi]
+
+    # Inside the segment h is linear: h(λ) = a − b λ over the "interior"
+    # coordinates (those not yet saturated anywhere in the segment).
+    midpoint = 0.5 * (lo_bound + hi_bound)
+    z = y - midpoint * weights
+    interior = np.abs(z) < 1.0
+    saturated_sum = float(weights[~interior] @ np.sign(z[~interior])) if (~interior).any() else 0.0
+    a = saturated_sum + float(weights[interior] @ y[interior])
+    b = float(weights[interior] @ weights[interior])
+    if b <= 0.0:
+        # h is constant on this segment; any λ in it attains the target.
+        return midpoint
+    lam = (a - target) / b
+    # Guard against floating-point drift outside the segment.
+    return float(np.clip(lam, lo_bound, hi_bound))
+
+
+def project_exact_1d(y: np.ndarray, weights: np.ndarray, target: float) -> np.ndarray:
+    """Exact projection onto ``{x ∈ [-1,1]ⁿ : ⟨w, x⟩ = target}``."""
+    lam = solve_lambda_1d(y, weights, target)
+    return truncate(y - lam * weights)

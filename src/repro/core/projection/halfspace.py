@@ -1,0 +1,36 @@
+"""Projections onto single balance constraints (hyperplanes and bands).
+
+These primitives are the building blocks of the alternating and Dykstra
+projection methods: each balance constraint ``lower ≤ ⟨w, x⟩ ≤ upper`` is a
+slab (intersection of two half-spaces), and the paper's "project on S^j_0"
+variant projects onto the central hyperplane ``⟨w, x⟩ = c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_onto_hyperplane", "project_onto_band"]
+
+
+def project_onto_hyperplane(point: np.ndarray, weights: np.ndarray, target: float) -> np.ndarray:
+    """Euclidean projection onto ``{x : ⟨w, x⟩ = target}``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    norm_squared = float(weights @ weights)
+    if norm_squared == 0.0:
+        return np.array(point, dtype=np.float64, copy=True)
+    offset = (float(weights @ point) - target) / norm_squared
+    return point - offset * weights
+
+
+def project_onto_band(point: np.ndarray, weights: np.ndarray,
+                      lower: float, upper: float) -> np.ndarray:
+    """Euclidean projection onto the slab ``{x : lower ≤ ⟨w, x⟩ ≤ upper}``."""
+    if lower > upper:
+        raise ValueError("lower must not exceed upper")
+    weights = np.asarray(weights, dtype=np.float64)
+    value = float(weights @ point)
+    if lower <= value <= upper:
+        return np.array(point, dtype=np.float64, copy=True)
+    target = upper if value > upper else lower
+    return project_onto_hyperplane(point, weights, target)

@@ -1,0 +1,116 @@
+"""Nested binary search for multi-dimensional equality projections.
+
+Appendix A.1 of the paper shows that the λ multipliers of the equality-
+constrained projection
+
+    x_i = [y_i − Σ_j λ_j w^(j)_i],   ⟨w^(j), x⟩ = c_j  for all j,
+
+can be found to arbitrary precision by nested binary search: fix ``λ_1``,
+solve the (d−1)-dimensional sub-problem for the remaining multipliers, and
+observe that the resulting ``Δ_1(λ_1) = ⟨w^(1), x⟩`` is continuous and
+monotone in ``λ_1`` (Theorem A.5).  We implement exactly that recursion,
+using bracket expansion followed by bisection at each level; the innermost
+level is the exact O(n log n) solver for d = 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .box import truncate
+from .exact_1d import solve_lambda_1d
+
+__all__ = ["solve_equality_system", "project_equality"]
+
+#: Maximum number of doublings when expanding the bracket for a multiplier.
+_MAX_EXPANSIONS = 80
+#: Bisection iterations per level (gives ~1e-14 relative precision).
+_BISECTION_ITERATIONS = 80
+
+
+def _initial_bracket_radius(y: np.ndarray, weights: np.ndarray) -> float:
+    """A radius that saturates every coordinate in at least one direction."""
+    positive = weights[weights > 0]
+    if positive.size == 0:
+        return 1.0
+    return float((np.abs(y).max(initial=0.0) + 1.0) / positive.min()) + 1.0
+
+
+def solve_equality_system(y: np.ndarray, weights: np.ndarray, targets: np.ndarray,
+                          tolerance: float = 1e-12) -> np.ndarray:
+    """Find multipliers λ with ``⟨w^(j), [y − Σ λ w]⟩ = c_j`` for all j.
+
+    ``weights`` is ``(d, n)`` with strictly positive rows and ``targets`` has
+    length ``d``.  Targets outside the attainable range are matched as
+    closely as possible (the bracket endpoint that gets nearest is used).
+    """
+    y = np.asarray(y, dtype=np.float64)
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if weights.shape[0] != targets.shape[0]:
+        raise ValueError("one target per weight dimension is required")
+    if weights.shape[1] != y.shape[0]:
+        raise ValueError("weights must have one column per coordinate of y")
+
+    dimensions = weights.shape[0]
+    if dimensions == 0:
+        return np.empty(0, dtype=np.float64)
+    if dimensions == 1:
+        return np.array([solve_lambda_1d(y, weights[0], targets[0])])
+
+    head_weights = weights[0]
+    tail_weights = weights[1:]
+    tail_targets = targets[1:]
+
+    def solve_tail(lam_head: float) -> np.ndarray:
+        return solve_equality_system(y - lam_head * head_weights, tail_weights,
+                                     tail_targets, tolerance)
+
+    def delta(lam_head: float) -> float:
+        tail = solve_tail(lam_head)
+        x = truncate(y - lam_head * head_weights - tail_weights.T @ tail)
+        return float(head_weights @ x)
+
+    target = targets[0]
+    radius = _initial_bracket_radius(y, head_weights)
+    lo, hi = -radius, radius
+    value_lo, value_hi = delta(lo), delta(hi)
+    # Δ is monotone; with positive weights increasing λ_1 weakly decreases
+    # every coordinate, so Δ is non-increasing, but we do not rely on the
+    # direction: expand until the target is bracketed.
+    expansions = 0
+    while not (min(value_lo, value_hi) - tolerance <= target
+               <= max(value_lo, value_hi) + tolerance):
+        radius *= 2.0
+        lo, hi = -radius, radius
+        value_lo, value_hi = delta(lo), delta(hi)
+        expansions += 1
+        if expansions >= _MAX_EXPANSIONS:
+            # Target unattainable; return the endpoint that gets closest.
+            best = lo if abs(value_lo - target) <= abs(value_hi - target) else hi
+            return np.concatenate([[best], solve_tail(best)])
+
+    decreasing = value_lo >= value_hi
+    for _ in range(_BISECTION_ITERATIONS):
+        mid = 0.5 * (lo + hi)
+        value_mid = delta(mid)
+        if abs(value_mid - target) <= tolerance:
+            lo = hi = mid
+            break
+        overshoot = value_mid > target
+        if (overshoot and decreasing) or (not overshoot and not decreasing):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, abs(lo) + abs(hi)):
+            break
+    lam_head = 0.5 * (lo + hi)
+    return np.concatenate([[lam_head], solve_tail(lam_head)])
+
+
+def project_equality(y: np.ndarray, weights: np.ndarray, targets: np.ndarray,
+                     tolerance: float = 1e-12) -> np.ndarray:
+    """Exact projection onto ``{x ∈ [-1,1]ⁿ : ⟨w^(j), x⟩ = c_j ∀j}``."""
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    lambdas = solve_equality_system(y, weights, targets, tolerance)
+    return truncate(np.asarray(y, dtype=np.float64) - weights.T @ lambdas)

@@ -1,0 +1,83 @@
+"""Recursive bisection into ``k`` parts (§3.3).
+
+The paper partitions into ``k > 2`` buckets by running GD recursively
+``⌈log₂ k⌉`` times: each level splits a vertex set into two groups that
+will eventually hold ``⌈k'/2⌉`` and ``⌊k'/2⌋`` of the remaining parts.
+When ``k'`` is odd the target fraction of the balance constraint is shifted
+accordingly ("changing the coefficients in the balance constraints"), so
+arbitrary ``k`` is supported, not only powers of two.
+
+The imbalance budget is split across the recursion levels so that the final
+partition meets the user-requested ``ε``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from ..partition.validation import validate_epsilon, validate_num_parts, validate_weights
+from .config import GDConfig
+from .gd import gd_bisect
+
+__all__ = ["recursive_bisection"]
+
+
+def _split_recursively(graph: Graph, weights: np.ndarray, vertex_ids: np.ndarray,
+                       num_parts: int, first_part: int, epsilon_per_level: float,
+                       config: GDConfig, assignment: np.ndarray, depth: int) -> None:
+    """Assign parts ``first_part .. first_part + num_parts - 1`` to ``vertex_ids``."""
+    if num_parts == 1 or vertex_ids.size == 0:
+        assignment[vertex_ids] = first_part
+        return
+
+    left_parts = (num_parts + 1) // 2
+    right_parts = num_parts - left_parts
+    target_fraction = left_parts / num_parts
+
+    subgraph, mapping = graph.subgraph(vertex_ids)
+    sub_weights = weights[:, mapping]
+    # Vary the seed per subproblem so sibling subproblems do not reuse the
+    # same noise/rounding randomness.
+    sub_config = config.with_updates(seed=config.seed + 7919 * depth + first_part,
+                                     record_history=False)
+    result = gd_bisect(subgraph, sub_weights, epsilon_per_level, sub_config,
+                       target_fraction=target_fraction)
+
+    local_assignment = result.partition.assignment  # 0 = V1 (left), 1 = V2 (right)
+    left_local = np.flatnonzero(local_assignment == 0)
+    right_local = np.flatnonzero(local_assignment == 1)
+    left_ids = mapping[left_local]
+    right_ids = mapping[right_local]
+
+    _split_recursively(graph, weights, left_ids, left_parts, first_part,
+                       epsilon_per_level, config, assignment, depth + 1)
+    _split_recursively(graph, weights, right_ids, right_parts, first_part + left_parts,
+                       epsilon_per_level, config, assignment, depth + 1)
+
+
+def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
+                        epsilon: float = 0.05, config: GDConfig | None = None) -> Partition:
+    """Partition ``graph`` into ``num_parts`` parts by recursive GD bisection."""
+    config = config if config is not None else GDConfig()
+    epsilon = validate_epsilon(epsilon)
+    num_parts = validate_num_parts(num_parts, graph.num_vertices)
+    weights = validate_weights(graph, weights)
+
+    if num_parts == 1:
+        return Partition.trivial(graph, num_parts=1)
+
+    levels = max(1, math.ceil(math.log2(num_parts)))
+    # Imbalances compound multiplicatively across levels:
+    # (1 + eps_level)^levels <= 1 + eps.
+    epsilon_per_level = (1.0 + epsilon) ** (1.0 / levels) - 1.0
+    epsilon_per_level = max(epsilon_per_level, 1e-4)
+
+    assignment = np.zeros(graph.num_vertices, dtype=np.int64)
+    all_vertices = np.arange(graph.num_vertices)
+    _split_recursively(graph, weights, all_vertices, num_parts, 0,
+                       epsilon_per_level, config, assignment, depth=0)
+    return Partition(graph=graph, assignment=assignment, num_parts=num_parts)

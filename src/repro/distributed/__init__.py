@@ -1,0 +1,29 @@
+"""Distributed graph-processing simulator (the Giraph substrate of §4.2)."""
+
+from .cost_model import CostModel
+from .stats import JobStats, SuperstepStats
+from .engine import BSPEngine
+from .cluster import GiraphCluster, JobReport
+from .apps import (
+    ConnectedComponents,
+    HypergraphClustering,
+    MutualFriends,
+    PageRank,
+    SuperstepResult,
+    VertexProgram,
+)
+
+__all__ = [
+    "CostModel",
+    "JobStats",
+    "SuperstepStats",
+    "BSPEngine",
+    "GiraphCluster",
+    "JobReport",
+    "ConnectedComponents",
+    "HypergraphClustering",
+    "MutualFriends",
+    "PageRank",
+    "SuperstepResult",
+    "VertexProgram",
+]

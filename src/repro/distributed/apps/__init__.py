@@ -1,0 +1,16 @@
+"""Giraph-style vertex-centric applications used in the evaluation (§4.2)."""
+
+from .base import SuperstepResult, VertexProgram
+from .pagerank import PageRank
+from .connected_components import ConnectedComponents
+from .mutual_friends import MutualFriends
+from .hypergraph_clustering import HypergraphClustering
+
+__all__ = [
+    "SuperstepResult",
+    "VertexProgram",
+    "PageRank",
+    "ConnectedComponents",
+    "MutualFriends",
+    "HypergraphClustering",
+]

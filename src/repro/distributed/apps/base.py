@@ -1,0 +1,70 @@
+"""Vertex-centric application interface (the "think like a vertex" model).
+
+An application defines an initial per-vertex state and a ``compute`` step
+executed once per superstep.  To keep the simulator fast the compute step
+is expressed with whole-graph vectorized operations rather than per-vertex
+Python callbacks, but the *information flow* is restricted to what a
+Pregel/Giraph vertex program could do: state updates may only combine a
+vertex's own state with aggregated messages from its neighbors.
+
+``compute`` returns the messages each vertex sends to **each** of its
+neighbors in the next superstep (``messages_per_edge``); the engine uses
+that to account local/remote message counts per worker, which drives the
+cost model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...graphs.graph import Graph
+
+__all__ = ["SuperstepResult", "VertexProgram"]
+
+
+@dataclass
+class SuperstepResult:
+    """Outcome of one superstep of a vertex program.
+
+    Attributes
+    ----------
+    state:
+        New per-vertex state (application defined; usually a float array).
+    messages_per_edge:
+        Length-``n`` array: the number of message units vertex ``v`` sends
+        along *each* of its incident edges during this superstep (0 for
+        halted vertices).
+    active:
+        Boolean mask of vertices that did work this superstep.
+    halt:
+        True when the application has converged and the job should stop.
+    """
+
+    state: np.ndarray
+    messages_per_edge: np.ndarray
+    active: np.ndarray
+    halt: bool = False
+
+
+class VertexProgram(ABC):
+    """Base class of the Giraph-style applications used in §4.2."""
+
+    #: Application name used in experiment tables (PR, CC, MF, HC).
+    name: str = "app"
+    #: Default superstep budget when the application does not halt earlier.
+    default_supersteps: int = 30
+
+    @abstractmethod
+    def initialize(self, graph: Graph) -> np.ndarray:
+        """Initial per-vertex state."""
+
+    @abstractmethod
+    def compute(self, graph: Graph, state: np.ndarray, superstep: int) -> SuperstepResult:
+        """Execute one superstep and return the new state and message counts."""
+
+    def result(self, state: np.ndarray) -> np.ndarray:
+        """Final per-vertex output (defaults to the raw state)."""
+        return state

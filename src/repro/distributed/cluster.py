@@ -1,0 +1,85 @@
+"""Cluster façade: partition a graph, place it on workers, run applications.
+
+This is the high-level entry point used by the experiment harness and the
+examples::
+
+    cluster = GiraphCluster(num_workers=16)
+    report = cluster.run_job(graph, placement, PageRank())
+    print(report.stats.total_runtime, report.stats.total_communication_bytes)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.metrics import edge_locality
+from ..partition.partition import Partition
+from .apps.base import VertexProgram
+from .cost_model import CostModel
+from .engine import BSPEngine
+from .stats import JobStats
+
+__all__ = ["JobReport", "GiraphCluster"]
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Result of running one application on one placement."""
+
+    application: str
+    partitioning: str
+    output: np.ndarray = field(repr=False)
+    stats: JobStats
+    edge_locality_pct: float
+
+    @property
+    def total_runtime(self) -> float:
+        return self.stats.total_runtime
+
+    @property
+    def total_communication_bytes(self) -> float:
+        return self.stats.total_communication_bytes
+
+
+class GiraphCluster:
+    """A simulated cluster with a fixed number of worker machines."""
+
+    def __init__(self, num_workers: int, cost_model: CostModel | None = None):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self._num_workers = num_workers
+        self._engine = BSPEngine(cost_model)
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._engine.cost_model
+
+    def run_job(self, graph: Graph, placement: Partition, program: VertexProgram,
+                placement_name: str | None = None,
+                max_supersteps: int | None = None) -> JobReport:
+        """Run ``program`` on ``graph`` with the given worker placement."""
+        if placement.num_parts != self._num_workers:
+            raise ValueError(
+                f"placement has {placement.num_parts} parts but the cluster has "
+                f"{self._num_workers} workers")
+        output, stats = self._engine.run(graph, placement, program, max_supersteps)
+        return JobReport(
+            application=program.name,
+            partitioning=placement_name if placement_name is not None else "custom",
+            output=output,
+            stats=stats,
+            edge_locality_pct=edge_locality(placement),
+        )
+
+    def speedup_over(self, baseline: JobReport, candidate: JobReport) -> float:
+        """Relative speedup (%) of ``candidate`` over ``baseline`` (Figure 7)."""
+        if baseline.total_runtime <= 0:
+            return 0.0
+        return 100.0 * (baseline.total_runtime - candidate.total_runtime) / baseline.total_runtime

@@ -1,0 +1,61 @@
+"""Worker cost model of the distributed graph-processing simulator.
+
+The paper's motivation (Figure 1, §1) is that per-worker iteration time in
+Giraph is driven by three observable quantities:
+
+* the number of **local edges** a worker processes (the paper measures a
+  correlation of ρ = 0.79 between edge count and iteration time),
+* the number of **vertices** hosted on the worker (serialization and other
+  per-vertex overhead, ρ = 0.62), and
+* the number of **messages received**, with remote (cross-worker) messages
+  costing more than local ones because they traverse the network.
+
+The simulator uses a linear model with those terms.  Absolute constants are
+arbitrary time units — every experiment reports *relative* numbers
+(speedup over Hash, max/mean ratios), which is also how the paper reports
+its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear per-worker cost model for one superstep.
+
+    ``compute time = vertex_cost * vertices + edge_cost * local_edge_endpoints
+    + local_message_cost * local messages + remote_message_cost * remote
+    messages + fixed_overhead``.  The superstep latency is the maximum over
+    workers (BSP barrier), and the communication volume is
+    ``remote messages * message_bytes``.
+    """
+
+    vertex_cost: float = 10.0
+    edge_cost: float = 1.0
+    local_message_cost: float = 0.2
+    remote_message_cost: float = 0.8
+    fixed_overhead: float = 100.0
+    message_bytes: float = 16.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("vertex_cost", "edge_cost", "local_message_cost",
+                           "remote_message_cost", "fixed_overhead", "message_bytes"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def worker_compute_time(self, vertices: float, local_edge_endpoints: float,
+                            local_messages: float, remote_messages: float) -> float:
+        """Compute time of one worker for one superstep (arbitrary units)."""
+        return (self.fixed_overhead
+                + self.vertex_cost * vertices
+                + self.edge_cost * local_edge_endpoints
+                + self.local_message_cost * local_messages
+                + self.remote_message_cost * remote_messages)
+
+    def communication_bytes(self, remote_messages: float) -> float:
+        """Bytes sent over the network for the given remote message count."""
+        return self.message_bytes * remote_messages

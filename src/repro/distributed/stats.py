@@ -1,0 +1,96 @@
+"""Runtime and communication statistics reported by the simulator.
+
+These are the quantities the paper reports: per-worker iteration times
+(Figure 1), total job runtimes and speedups (Figure 7), and per-superstep
+runtime / communication mean, max and standard deviation (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SuperstepStats", "JobStats"]
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """Per-worker measurements of a single superstep."""
+
+    superstep: int
+    worker_times: np.ndarray = field(repr=False)
+    worker_communication_bytes: np.ndarray = field(repr=False)
+    active_vertices: int
+
+    @property
+    def duration(self) -> float:
+        """BSP superstep latency: the slowest worker determines the barrier."""
+        return float(self.worker_times.max(initial=0.0))
+
+    @property
+    def mean_worker_time(self) -> float:
+        return float(self.worker_times.mean()) if self.worker_times.size else 0.0
+
+    @property
+    def idle_time(self) -> float:
+        """Average time workers spend waiting for the slowest one."""
+        return self.duration - self.mean_worker_time
+
+    @property
+    def communication_bytes(self) -> float:
+        return float(self.worker_communication_bytes.sum())
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """Aggregate statistics of a full job (all supersteps)."""
+
+    application: str
+    num_workers: int
+    supersteps: list[SuperstepStats] = field(repr=False)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_runtime(self) -> float:
+        """Sum of superstep latencies (the job's makespan)."""
+        return float(sum(step.duration for step in self.supersteps))
+
+    @property
+    def total_communication_bytes(self) -> float:
+        return float(sum(step.communication_bytes for step in self.supersteps))
+
+    def worker_time_matrix(self) -> np.ndarray:
+        """``(supersteps, workers)`` matrix of per-worker compute times."""
+        if not self.supersteps:
+            return np.zeros((0, self.num_workers))
+        return np.vstack([step.worker_times for step in self.supersteps])
+
+    def runtime_summary(self) -> dict[str, float]:
+        """Mean / max / std of per-superstep worker times (Table 2 rows)."""
+        durations = np.array([step.duration for step in self.supersteps])
+        means = np.array([step.mean_worker_time for step in self.supersteps])
+        if durations.size == 0:
+            return {"mean": 0.0, "max": 0.0, "stdev": 0.0}
+        worker_times = self.worker_time_matrix()
+        return {
+            "mean": float(means.mean()),
+            "max": float(durations.mean()),
+            "stdev": float(worker_times.std(axis=1).mean()),
+        }
+
+    def communication_summary(self) -> dict[str, float]:
+        """Mean / max / std of per-superstep per-worker communication."""
+        if not self.supersteps:
+            return {"mean": 0.0, "max": 0.0, "stdev": 0.0}
+        comm = np.vstack([step.worker_communication_bytes for step in self.supersteps])
+        per_step_mean = comm.mean(axis=1)
+        per_step_max = comm.max(axis=1)
+        return {
+            "mean": float(per_step_mean.mean()),
+            "max": float(per_step_max.mean()),
+            "stdev": float(comm.std(axis=1).mean()),
+        }

@@ -1,0 +1,46 @@
+"""Appendix C.2 (Figures 15--17) — experiments on the sx-stackoverflow graph.
+
+The appendix re-runs the parameter studies of §4.3 on the largest
+non-social SNAP graph to show that GD's behaviour is not specific to social
+networks.  Figures 15, 16 and 17 are the stackoverflow counterparts of
+Figures 9, 8 and 10 respectively; this module simply parameterizes those
+experiment runners with the ``stackoverflow`` preset (plus LiveJournal as
+the reference the paper plots next to it).
+"""
+
+from __future__ import annotations
+
+from . import fig8_step_length, fig9_adaptive, fig10_projection_methods
+from .common import DEFAULT_SCALE
+
+__all__ = ["run_fig15", "run_fig16", "run_fig17", "format_result"]
+
+GRAPHS = ("stackoverflow", "livejournal")
+
+
+def run_fig15(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100):
+    """Figure 15: adaptive step / vertex fixing on sx-stackoverflow."""
+    return fig9_adaptive.run(scale=scale, seed=seed, iterations=iterations, graphs=GRAPHS)
+
+
+def run_fig16(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100):
+    """Figure 16: step-length comparison on sx-stackoverflow."""
+    return fig8_step_length.run(scale=scale, seed=seed, iterations=iterations, graphs=GRAPHS)
+
+
+def run_fig17(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100):
+    """Figure 17: projection-method comparison on sx-stackoverflow."""
+    return fig10_projection_methods.run(scale=scale, seed=seed, iterations=iterations,
+                                        graphs=GRAPHS)
+
+
+def format_result(figure: str, result) -> str:
+    """Render the appendix figures with the matching §4.3 formatter."""
+    formatters = {
+        "fig15": fig9_adaptive.format_result,
+        "fig16": fig8_step_length.format_result,
+        "fig17": fig10_projection_methods.format_result,
+    }
+    if figure not in formatters:
+        raise KeyError(f"unknown appendix figure {figure!r}")
+    return formatters[figure](result)

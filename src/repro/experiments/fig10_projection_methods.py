@@ -1,0 +1,60 @@
+"""Figures 10 and 17 — projection method comparison.
+
+GD is run with the exact projection at allowed imbalance
+``ε ∈ {0.1, 0.01, 0.001}`` and with "one-shot" alternating projections on
+LiveJournal and Orkut (Figure 10) and sx-stackoverflow (Figure 17).
+Expected shape: the exact projection with a generous allowed imbalance
+reaches the best locality; the one-shot alternating projection — the
+default for large graphs — tracks it closely; tighter allowed imbalance
+costs some locality.  (Dykstra's projection matches the exact one and is
+omitted from the figure, as in the paper.)
+"""
+
+from __future__ import annotations
+
+from ..core import GDConfig, gd_bisect
+from ..graphs import standard_weights
+from .common import DEFAULT_SCALE, public_graph
+from .reporting import format_series
+
+__all__ = ["run", "format_result", "EXACT_EPSILONS"]
+
+EXACT_EPSILONS = (0.1, 0.01, 0.001)
+DEFAULT_GRAPHS = ("livejournal", "orkut")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100,
+        epsilon: float = 0.05, graphs: tuple[str, ...] = DEFAULT_GRAPHS,
+        include_dykstra: bool = False) -> dict[str, dict[str, list[float]]]:
+    """Per graph: ``{method label: [locality per iteration]}``."""
+    results: dict[str, dict[str, list[float]]] = {}
+    for graph_name in graphs:
+        graph = public_graph(graph_name, scale=scale, seed=seed)
+        weights = standard_weights(graph, 2)
+        series: dict[str, list[float]] = {}
+        for exact_epsilon in EXACT_EPSILONS:
+            config = GDConfig(iterations=iterations, projection="exact",
+                              projection_epsilon=exact_epsilon,
+                              record_history=True, seed=seed)
+            result = gd_bisect(graph, weights, epsilon, config)
+            series[f"exact eps={exact_epsilon:g}"] = [
+                r.edge_locality_pct for r in result.history]
+        alternating = GDConfig(iterations=iterations, projection="alternating_oneshot",
+                               record_history=True, seed=seed)
+        result = gd_bisect(graph, weights, epsilon, alternating)
+        series["alternating"] = [r.edge_locality_pct for r in result.history]
+        if include_dykstra:
+            dykstra = GDConfig(iterations=iterations, projection="dykstra",
+                               record_history=True, seed=seed)
+            result = gd_bisect(graph, weights, epsilon, dykstra)
+            series["dykstra"] = [r.edge_locality_pct for r in result.history]
+        results[graph_name] = series
+    return results
+
+
+def format_result(results: dict[str, dict[str, list[float]]]) -> str:
+    blocks = []
+    for graph_name, series in results.items():
+        blocks.append(format_series(
+            series, title=f"Figure 10: edge locality vs iteration ({graph_name})"))
+    return "\n\n".join(blocks)

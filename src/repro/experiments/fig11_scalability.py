@@ -1,0 +1,68 @@
+"""Figure 11 — scalability of GD with the number of edges.
+
+The paper reports machine-hours of the distributed GD implementation on
+FB-X graphs of increasing size and observes a near-linear dependence on the
+number of edges.  We reproduce the property on a single machine: wall-clock
+time of one GD bisection as a function of |E| over a sweep of generated
+graphs, together with the coefficient of determination of a linear fit
+through the origin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import GDConfig, gd_bisect
+from ..graphs import fb_like, standard_weights
+from .reporting import format_table
+
+__all__ = ["run", "format_result", "linear_fit_r_squared"]
+
+DEFAULT_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def linear_fit_r_squared(edge_counts: np.ndarray, times: np.ndarray) -> float:
+    """R² of the best through-the-origin linear fit ``time ≈ c · |E|``."""
+    edge_counts = np.asarray(edge_counts, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if edge_counts.size < 2 or float(edge_counts @ edge_counts) == 0.0:
+        return 1.0
+    slope = float(edge_counts @ times) / float(edge_counts @ edge_counts)
+    residual = times - slope * edge_counts
+    total = times - times.mean()
+    denominator = float(total @ total)
+    if denominator == 0.0:
+        return 1.0
+    return 1.0 - float(residual @ residual) / denominator
+
+
+def run(scales: tuple[float, ...] = DEFAULT_SCALES, seed: int = 0,
+        iterations: int = 50, epsilon: float = 0.05) -> dict:
+    """Time GD bisection on FB-like graphs of growing size."""
+    rows: list[dict] = []
+    for scale in scales:
+        graph = fb_like(80, scale=scale, seed=seed)
+        weights = standard_weights(graph, 2)
+        config = GDConfig(iterations=iterations, seed=seed)
+        result = gd_bisect(graph, weights, epsilon, config)
+        rows.append({
+            "scale": scale,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seconds": result.elapsed_seconds,
+        })
+    edge_counts = np.array([row["num_edges"] for row in rows], dtype=np.float64)
+    times = np.array([row["seconds"] for row in rows])
+    return {
+        "rows": rows,
+        "r_squared": linear_fit_r_squared(edge_counts, times),
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["scale", "|V|", "|E|", "seconds"]
+    table_rows = [[row["scale"], row["num_vertices"], row["num_edges"], row["seconds"]]
+                  for row in result["rows"]]
+    table = format_table(headers, table_rows,
+                         title="Figure 11: GD runtime vs graph size", precision=3)
+    return table + f"\nlinear-fit R^2 = {result['r_squared']:.3f}"

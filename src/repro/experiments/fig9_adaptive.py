@@ -1,0 +1,59 @@
+"""Figures 9 and 15 — adaptive step size and vertex fixing.
+
+Three GD variants are compared on LiveJournal and Orkut (Figure 9) and
+sx-stackoverflow (Figure 15): (1) non-adaptive step size, (2) adaptive step
+size, (3) adaptive step size + vertex fixing.  Both the per-iteration edge
+locality and the per-iteration maximum imbalance are tracked.  Expected
+shape: vertex fixing gives the best locality *and* keeps the imbalance near
+zero throughout, while the other variants accumulate imbalance that has to
+be repaired at the end (visible as a drop in the last iteration).
+"""
+
+from __future__ import annotations
+
+from ..core import GDConfig, gd_bisect
+from ..graphs import standard_weights
+from .common import DEFAULT_SCALE, public_graph
+from .reporting import format_series
+
+__all__ = ["run", "format_result", "VARIANTS"]
+
+#: (label, adaptive step, vertex fixing)
+VARIANTS = (
+    ("nonadaptive", False, False),
+    ("adaptive", True, False),
+    ("adaptive+fixing", True, True),
+)
+DEFAULT_GRAPHS = ("livejournal", "orkut")
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100,
+        epsilon: float = 0.05,
+        graphs: tuple[str, ...] = DEFAULT_GRAPHS) -> dict[str, dict[str, dict[str, list[float]]]]:
+    """Per graph: ``{"locality": {variant: series}, "imbalance": {variant: series}}``."""
+    results: dict[str, dict[str, dict[str, list[float]]]] = {}
+    for graph_name in graphs:
+        graph = public_graph(graph_name, scale=scale, seed=seed)
+        weights = standard_weights(graph, 2)
+        locality_series: dict[str, list[float]] = {}
+        imbalance_series: dict[str, list[float]] = {}
+        for label, adaptive, fixing in VARIANTS:
+            config = GDConfig(iterations=iterations, adaptive_step=adaptive,
+                              vertex_fixing=fixing, record_history=True, seed=seed)
+            result = gd_bisect(graph, weights, epsilon, config)
+            locality_series[label] = [r.edge_locality_pct for r in result.history]
+            imbalance_series[label] = [r.max_imbalance_pct for r in result.history]
+        results[graph_name] = {"locality": locality_series, "imbalance": imbalance_series}
+    return results
+
+
+def format_result(results: dict[str, dict[str, dict[str, list[float]]]]) -> str:
+    blocks = []
+    for graph_name, metrics in results.items():
+        blocks.append(format_series(
+            metrics["locality"],
+            title=f"Figure 9: edge locality vs iteration ({graph_name})"))
+        blocks.append(format_series(
+            metrics["imbalance"],
+            title=f"Figure 9: max imbalance %% vs iteration ({graph_name})"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper's evaluation consists of bar charts, line plots, and tables.  The
+benchmark harness reproduces the underlying numbers and renders them as
+aligned text tables (one row per bar / line point / table cell) so the
+reproduction can be compared against the paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None, precision: int = 2) -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str = "iteration",
+                  title: str | None = None, precision: int = 2,
+                  stride: int = 10) -> str:
+    """Render named series (e.g. locality vs iteration) as a sampled table.
+
+    Every ``stride``-th point is printed, plus the final point, which is
+    enough to compare convergence curves against the paper's figures.
+    """
+    if not series:
+        return title or ""
+    length = max(len(values) for values in series.values())
+    sampled = sorted(set(range(0, length, stride)) | {length - 1})
+    headers = [x_label] + list(series)
+    rows = []
+    for index in sampled:
+        row: list[object] = [index]
+        for name in series:
+            values = series[name]
+            row.append(float(values[index]) if index < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,64 @@
+"""Convenience constructors for :class:`~repro.graphs.graph.Graph`.
+
+These helpers cover the common ways a downstream user holds a graph in
+memory: adjacency dictionaries, scipy sparse matrices, and pair arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from .graph import Graph
+
+__all__ = [
+    "from_adjacency_dict",
+    "from_scipy_sparse",
+    "from_edge_arrays",
+]
+
+
+def from_adjacency_dict(adjacency: Mapping[int, Iterable[int]],
+                        num_vertices: int | None = None) -> Graph:
+    """Build a graph from ``{vertex: neighbors}``.
+
+    Vertices mentioned only as neighbors are included automatically.
+    """
+    max_id = -1
+    edges: list[tuple[int, int]] = []
+    for vertex, neighbors in adjacency.items():
+        max_id = max(max_id, int(vertex))
+        for neighbor in neighbors:
+            max_id = max(max_id, int(neighbor))
+            edges.append((int(vertex), int(neighbor)))
+    n = num_vertices if num_vertices is not None else max_id + 1
+    return Graph.from_edges(n, edges)
+
+
+def from_scipy_sparse(matrix: sparse.spmatrix) -> Graph:
+    """Build a graph from a (symmetric or not) scipy sparse adjacency matrix.
+
+    Nonzero entries denote edges; the matrix is symmetrized and the
+    diagonal is ignored.
+    """
+    coo = sparse.coo_matrix(matrix)
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    edges = np.column_stack([coo.row, coo.col])
+    return Graph.from_edges(coo.shape[0], edges)
+
+
+def from_edge_arrays(sources: Sequence[int] | np.ndarray,
+                     targets: Sequence[int] | np.ndarray,
+                     num_vertices: int | None = None) -> Graph:
+    """Build a graph from parallel arrays of edge endpoints."""
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.shape != targets.shape:
+        raise ValueError("sources and targets must have the same length")
+    if sources.size == 0:
+        return Graph.from_edges(num_vertices or 0, np.empty((0, 2), dtype=np.int64))
+    n = num_vertices if num_vertices is not None else int(max(sources.max(), targets.max())) + 1
+    return Graph.from_edges(n, np.column_stack([sources, targets]))

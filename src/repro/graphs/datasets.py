@@ -1,0 +1,153 @@
+"""Named dataset presets mirroring the graphs used in the paper.
+
+The paper's experiments use (a) four public SNAP social networks, (b) large
+subsets of the Facebook friendship graph called FB-X (X = billions of
+edges), and (c) the sx-stackoverflow Q&A interaction graph.  These presets
+generate synthetic graphs with the same *relative* characteristics (degree
+skew, density ordering, community structure) at laptop scale, so that every
+experiment in the paper can be re-run end to end.
+
+The ``scale`` parameter multiplies the preset vertex count; experiments in
+``benchmarks/`` use small scales to keep runtimes low and the scaling study
+(Figure 11) sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generators import power_law_cluster_graph
+from .graph import Graph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "livejournal_like",
+    "orkut_like",
+    "twitter_like",
+    "friendster_like",
+    "stackoverflow_like",
+    "fb_like",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of a synthetic dataset preset.
+
+    ``base_vertices`` and ``average_degree`` control size and density;
+    ``exponent`` the degree-distribution skew; ``mixing`` the fraction of
+    inter-community edges (higher means harder to partition).
+    """
+
+    name: str
+    base_vertices: int
+    average_degree: float
+    exponent: float
+    num_communities: int
+    mixing: float
+    description: str
+
+
+# The relative densities follow the paper: LiveJournal (4.8M vertices, 40M
+# edges, avg deg ~18), Orkut (3.1M, 120M, ~77 — densest public graph),
+# Twitter (41M, 1.2B, ~58, highly skewed), Friendster (65M, 1.8B, ~55),
+# sx-stackoverflow (2.6M, 28M, ~21, weaker community structure).
+DATASETS: dict[str, DatasetSpec] = {
+    "livejournal": DatasetSpec(
+        name="livejournal", base_vertices=2000, average_degree=18.0, exponent=2.6,
+        num_communities=20, mixing=0.10,
+        description="LiveJournal-like: moderate density, strong communities"),
+    "orkut": DatasetSpec(
+        name="orkut", base_vertices=1500, average_degree=40.0, exponent=2.5,
+        num_communities=15, mixing=0.15,
+        description="Orkut-like: dense social network"),
+    "twitter": DatasetSpec(
+        name="twitter", base_vertices=3000, average_degree=30.0, exponent=2.1,
+        num_communities=25, mixing=0.25,
+        description="Twitter-like: highly skewed degree distribution"),
+    "friendster": DatasetSpec(
+        name="friendster", base_vertices=4000, average_degree=28.0, exponent=2.4,
+        num_communities=32, mixing=0.18,
+        description="Friendster-like: large, moderately skewed"),
+    "stackoverflow": DatasetSpec(
+        name="stackoverflow", base_vertices=2500, average_degree=21.0, exponent=2.2,
+        num_communities=12, mixing=0.30,
+        description="sx-stackoverflow-like: Q&A interaction graph, weaker communities"),
+}
+
+# FB-X graphs: the paper uses FB-3B, FB-80B, FB-400B, FB-800B.  We keep the
+# same relative ordering of sizes; the index is the "billions of edges" tag.
+_FB_SIZES: dict[int, int] = {3: 1500, 80: 4000, 400: 8000, 800: 12000}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Generate the preset ``name`` at the given ``scale``.
+
+    ``name`` is one of ``DATASETS`` keys or ``"fb-3"``, ``"fb-80"``,
+    ``"fb-400"``, ``"fb-800"``.
+    """
+    lowered = name.lower()
+    if lowered.startswith("fb-"):
+        billions = int(lowered.split("-", 1)[1])
+        return fb_like(billions, scale=scale, seed=seed)
+    if lowered not in DATASETS:
+        raise KeyError(f"unknown dataset preset: {name!r}; available: "
+                       f"{sorted(DATASETS) + ['fb-3', 'fb-80', 'fb-400', 'fb-800']}")
+    spec = DATASETS[lowered]
+    num_vertices = max(int(spec.base_vertices * scale), 16)
+    return power_law_cluster_graph(
+        num_vertices=num_vertices,
+        num_communities=max(2, int(spec.num_communities * max(scale, 0.25))),
+        average_degree=spec.average_degree,
+        exponent=spec.exponent,
+        mixing=spec.mixing,
+        seed=seed,
+    )
+
+
+def livejournal_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """LiveJournal-like preset (moderate density, strong communities)."""
+    return load_dataset("livejournal", scale=scale, seed=seed)
+
+
+def orkut_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """Orkut-like preset (dense social network)."""
+    return load_dataset("orkut", scale=scale, seed=seed)
+
+
+def twitter_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """Twitter-like preset (highly skewed degree distribution)."""
+    return load_dataset("twitter", scale=scale, seed=seed)
+
+
+def friendster_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """Friendster-like preset (largest public graph in the paper)."""
+    return load_dataset("friendster", scale=scale, seed=seed)
+
+
+def stackoverflow_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """sx-stackoverflow-like preset (non-social Q&A graph, Appendix C.2)."""
+    return load_dataset("stackoverflow", scale=scale, seed=seed)
+
+
+def fb_like(billions_of_edges: int, scale: float = 1.0, seed: int = 0) -> Graph:
+    """FB-X preset: stand-in for the Facebook friendship subgraphs.
+
+    ``billions_of_edges`` selects one of the paper's FB-3B / FB-80B /
+    FB-400B / FB-800B graphs; the generated graphs preserve the relative
+    size ordering at laptop scale.
+    """
+    if billions_of_edges not in _FB_SIZES:
+        raise KeyError(f"unknown FB preset: FB-{billions_of_edges}B; "
+                       f"available: {sorted(_FB_SIZES)}")
+    num_vertices = max(int(_FB_SIZES[billions_of_edges] * scale), 32)
+    return power_law_cluster_graph(
+        num_vertices=num_vertices,
+        num_communities=max(4, num_vertices // 120),
+        average_degree=24.0,
+        exponent=2.4,
+        mixing=0.15,
+        seed=seed + billions_of_edges,
+    )

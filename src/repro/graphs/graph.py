@@ -1,0 +1,186 @@
+"""Compressed sparse row (CSR) graph representation.
+
+All algorithms in this package operate on :class:`Graph`, an immutable,
+undirected graph stored in CSR form.  The representation is chosen to make
+the two operations that dominate the projected-gradient-descent algorithm
+cheap:
+
+* sparse matrix--vector products with the adjacency matrix (``A @ x``), and
+* iteration over the neighborhood of a vertex.
+
+Vertices are integers ``0 .. n-1``.  Parallel edges and self loops are
+removed during construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["Graph"]
+
+
+def _canonicalize_edges(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Return a deduplicated ``(m, 2)`` int64 array of undirected edges.
+
+    Self loops are dropped and each edge is stored with its smaller endpoint
+    first so that duplicates in either orientation collapse to one entry.
+    """
+    if edges.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array of vertex pairs")
+    if edges.min(initial=0) < 0 or edges.max(initial=-1) >= num_vertices:
+        raise ValueError("edge endpoint out of range")
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if lo.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    keys = lo * np.int64(num_vertices) + hi
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    unique_mask = np.empty(keys.shape, dtype=bool)
+    unique_mask[0] = True
+    unique_mask[1:] = keys[1:] != keys[:-1]
+    lo, hi = lo[order][unique_mask], hi[order][unique_mask]
+    return np.column_stack([lo, hi])
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected graph in CSR form.
+
+    Attributes
+    ----------
+    num_vertices:
+        Number of vertices ``n``; vertices are ``0 .. n-1``.
+    edges:
+        ``(m, 2)`` array of unique undirected edges with ``u < v``.
+    indptr, indices:
+        CSR adjacency structure: the neighbors of vertex ``v`` are
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    """
+
+    num_vertices: int
+    edges: np.ndarray
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[Sequence[int]] | np.ndarray) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges (in either orientation) and self loops are ignored.
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                                dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = np.empty((0, 2), dtype=np.int64)
+        canonical = _canonicalize_edges(edge_array, num_vertices)
+        indptr, indices = cls._build_csr(num_vertices, canonical)
+        return cls(num_vertices=num_vertices, edges=canonical, indptr=indptr, indices=indices)
+
+    @staticmethod
+    def _build_csr(num_vertices: int, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if edges.size == 0:
+            return np.zeros(num_vertices + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        sources = np.concatenate([edges[:, 0], edges[:, 1]])
+        targets = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.argsort(sources, kind="stable")
+        sources, targets = sources[order], targets[order]
+        counts = np.bincount(sources, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, targets.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.edges.shape[0])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees as a float64 array of length ``num_vertices``."""
+        return np.diff(self.indptr).astype(np.float64)
+
+    def degree(self, vertex: int) -> int:
+        """Degree of a single vertex."""
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbors of ``vertex`` as an int64 array."""
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` tuples with ``u < v``."""
+        for u, v in self.edges:
+            yield int(u), int(v)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra views
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self, dtype=np.float64) -> sparse.csr_matrix:
+        """Return the symmetric adjacency matrix as a scipy CSR matrix."""
+        n = self.num_vertices
+        data = np.ones(len(self.indices), dtype=dtype)
+        return sparse.csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, vertices: np.ndarray | Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph and an array mapping new vertex ids to the
+        original ids (``original_id = mapping[new_id]``).
+        """
+        vertex_ids = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertex_ids.size and (vertex_ids[0] < 0 or vertex_ids[-1] >= self.num_vertices):
+            raise ValueError("vertex id out of range")
+        new_id = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_id[vertex_ids] = np.arange(vertex_ids.size)
+        if self.num_edges:
+            src_new = new_id[self.edges[:, 0]]
+            dst_new = new_id[self.edges[:, 1]]
+            keep = (src_new >= 0) & (dst_new >= 0)
+            sub_edges = np.column_stack([src_new[keep], dst_new[keep]])
+        else:
+            sub_edges = np.empty((0, 2), dtype=np.int64)
+        return Graph.from_edges(vertex_ids.size, sub_edges), vertex_ids
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for interop and testing)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self.num_vertices))
+        nx_graph.add_edges_from(self.iter_edges())
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph with integer-like nodes.
+
+        Nodes are relabelled to ``0 .. n-1`` in sorted order.
+        """
+        nodes = sorted(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls.from_edges(len(nodes), edges)

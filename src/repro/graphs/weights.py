@@ -1,0 +1,122 @@
+"""Vertex weight functions used as balance dimensions.
+
+The multi-dimensional balanced partitioning problem is parameterized by a
+collection of weight functions ``w(1..d): V -> R+``.  The paper's
+experiments use (Section 4.1 and Appendix C):
+
+* ``d = 1``: unit weights (vertex balance) or degrees (edge balance);
+* ``d = 2``: unit weights + degrees (vertex-edge balance);
+* ``d = 3``: + sum of neighbor degrees (proxy for 2-hop neighborhood size);
+* ``d = 4``: + PageRank (proxy for vertex activity / load).
+
+All functions return dense float64 arrays of length ``num_vertices`` with
+strictly positive entries, as required by the projection algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "unit_weights",
+    "degree_weights",
+    "neighbor_degree_sum_weights",
+    "pagerank_weights",
+    "weight_matrix",
+    "standard_weights",
+    "WEIGHT_FUNCTIONS",
+]
+
+
+def unit_weights(graph: Graph) -> np.ndarray:
+    """Weight 1 for every vertex (balances vertex counts)."""
+    return np.ones(graph.num_vertices, dtype=np.float64)
+
+
+def degree_weights(graph: Graph, floor: float = 1e-6) -> np.ndarray:
+    """Vertex degrees (balances edge counts across parts).
+
+    Isolated vertices get a small positive ``floor`` weight so that the
+    weight vector stays strictly positive, which the exact projection
+    algorithms require.
+    """
+    degrees = graph.degrees
+    return np.maximum(degrees, floor)
+
+
+def neighbor_degree_sum_weights(graph: Graph, floor: float = 1e-6) -> np.ndarray:
+    """Sum of degrees over a vertex's neighbors.
+
+    The paper uses this as a cheap proxy for the (expensive to compute)
+    size of the 2-hop neighborhood.
+    """
+    degrees = graph.degrees
+    if graph.num_edges == 0:
+        return np.full(graph.num_vertices, floor)
+    adjacency = graph.adjacency_matrix()
+    sums = adjacency @ degrees
+    return np.maximum(sums, floor)
+
+
+def pagerank_weights(graph: Graph, damping: float = 0.85, iterations: int = 50,
+                     tolerance: float = 1e-10) -> np.ndarray:
+    """PageRank scores (power iteration), scaled to sum to ``num_vertices``.
+
+    Scaling keeps the magnitude comparable to the other weight dimensions,
+    which makes imbalance numbers easier to read; balance constraints are
+    scale-invariant so this does not change the feasible set.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    degrees = graph.degrees
+    adjacency = graph.adjacency_matrix()
+    rank = np.full(n, 1.0 / n)
+    inverse_degree = np.where(degrees > 0, 1.0 / np.maximum(degrees, 1.0), 0.0)
+    for _ in range(iterations):
+        dangling = rank[degrees == 0].sum()
+        spread = adjacency @ (rank * inverse_degree)
+        new_rank = (1.0 - damping) / n + damping * (spread + dangling / n)
+        if np.abs(new_rank - rank).sum() < tolerance:
+            rank = new_rank
+            break
+        rank = new_rank
+    rank = np.maximum(rank, 1e-12)
+    return rank * (n / rank.sum())
+
+
+#: Registry of weight functions by name, used by the experiment harness.
+WEIGHT_FUNCTIONS: dict[str, Callable[[Graph], np.ndarray]] = {
+    "unit": unit_weights,
+    "degree": degree_weights,
+    "neighbor_degree_sum": neighbor_degree_sum_weights,
+    "pagerank": pagerank_weights,
+}
+
+
+def weight_matrix(graph: Graph, names: Sequence[str]) -> np.ndarray:
+    """Stack the named weight functions into a ``(d, n)`` matrix."""
+    rows = []
+    for name in names:
+        if name not in WEIGHT_FUNCTIONS:
+            raise KeyError(f"unknown weight function {name!r}; "
+                           f"available: {sorted(WEIGHT_FUNCTIONS)}")
+        rows.append(WEIGHT_FUNCTIONS[name](graph))
+    if not rows:
+        raise ValueError("at least one weight function is required")
+    return np.vstack(rows)
+
+
+def standard_weights(graph: Graph, dimensions: int) -> np.ndarray:
+    """The paper's standard weight stacks for ``d`` in 1..4.
+
+    d=1: unit; d=2: unit+degree; d=3: +neighbor-degree-sum; d=4: +pagerank.
+    """
+    order = ["unit", "degree", "neighbor_degree_sum", "pagerank"]
+    if not 1 <= dimensions <= len(order):
+        raise ValueError(f"dimensions must be in 1..{len(order)}")
+    return weight_matrix(graph, order[:dimensions])

@@ -1,0 +1,33 @@
+"""Partition data model, quality metrics, and validation."""
+
+from .partition import Partition
+from .metrics import (
+    cut_size,
+    edge_locality,
+    imbalance,
+    is_epsilon_balanced,
+    max_imbalance,
+    objective_value,
+    quality_summary,
+)
+from .validation import (
+    validate_epsilon,
+    validate_num_parts,
+    validate_partition,
+    validate_weights,
+)
+
+__all__ = [
+    "Partition",
+    "cut_size",
+    "edge_locality",
+    "imbalance",
+    "is_epsilon_balanced",
+    "max_imbalance",
+    "objective_value",
+    "quality_summary",
+    "validate_epsilon",
+    "validate_num_parts",
+    "validate_partition",
+    "validate_weights",
+]

@@ -1,0 +1,60 @@
+"""Validation helpers for partitions and weight matrices.
+
+The partitioners accept user-supplied weight functions; these helpers give
+clear error messages for malformed input instead of silent misbehavior deep
+inside the optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .partition import Partition
+
+__all__ = [
+    "validate_weights",
+    "validate_epsilon",
+    "validate_num_parts",
+    "validate_partition",
+]
+
+
+def validate_weights(graph: Graph, weights: np.ndarray) -> np.ndarray:
+    """Normalize weights to a ``(d, n)`` float64 matrix with positive entries."""
+    matrix = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    if matrix.ndim != 2:
+        raise ValueError("weights must be a 1-D or 2-D array")
+    if matrix.shape[1] != graph.num_vertices:
+        raise ValueError(
+            f"weights have {matrix.shape[1]} columns but the graph has "
+            f"{graph.num_vertices} vertices")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError("weights must be finite")
+    if np.any(matrix <= 0):
+        raise ValueError("weights must be strictly positive")
+    return matrix
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Check that the imbalance tolerance lies in (0, 1]."""
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    return float(epsilon)
+
+
+def validate_num_parts(num_parts: int, num_vertices: int) -> int:
+    """Check that the requested number of parts is feasible."""
+    if num_parts < 1:
+        raise ValueError("num_parts must be at least 1")
+    if num_vertices and num_parts > num_vertices:
+        raise ValueError(
+            f"cannot split {num_vertices} vertices into {num_parts} non-trivial parts")
+    return int(num_parts)
+
+
+def validate_partition(partition: Partition) -> Partition:
+    """Re-run the structural checks on a partition (useful after surgery)."""
+    Partition(graph=partition.graph, assignment=partition.assignment,
+              num_parts=partition.num_parts)
+    return partition

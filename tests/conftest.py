@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    grid_graph,
+    livejournal_like,
+    power_law_cluster_graph,
+    ring_of_cliques,
+    standard_weights,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A triangle: the smallest graph with a non-trivial cut."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 6-vertex path."""
+    return Graph.from_edges(6, [(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def two_cliques_graph() -> Graph:
+    """Two 5-cliques joined by a single bridge edge (known optimal bisection)."""
+    edges = []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((base + i, base + j))
+    edges.append((0, 5))
+    return Graph.from_edges(10, edges)
+
+
+@pytest.fixture
+def clique_ring() -> Graph:
+    """Eight 8-cliques in a ring — a standard partitioning benchmark."""
+    return ring_of_cliques(8, 8)
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    return grid_graph(6, 6)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    return star_graph(12)
+
+
+@pytest.fixture
+def social_graph() -> Graph:
+    """A small power-law community graph (deterministic)."""
+    return power_law_cluster_graph(
+        num_vertices=300, num_communities=6, average_degree=12.0, seed=7)
+
+
+@pytest.fixture
+def lj_graph() -> Graph:
+    """A small LiveJournal-like preset used by integration tests."""
+    return livejournal_like(scale=0.25, seed=3)
+
+
+@pytest.fixture
+def social_weights(social_graph) -> np.ndarray:
+    return standard_weights(social_graph, 2)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

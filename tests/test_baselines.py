@@ -1,0 +1,162 @@
+"""Unit tests for the baseline partitioners (Hash, Spinner, BLP, SHP, METIS-like)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BalancedLabelPropagation,
+    HashPartitioner,
+    MetisLikePartitioner,
+    SocialHashPartitioner,
+    SpinnerPartitioner,
+)
+from repro.graphs import Graph, standard_weights, unit_weights
+from repro.partition import edge_locality, imbalance, max_imbalance
+
+ALL_BASELINES = [
+    HashPartitioner,
+    SpinnerPartitioner,
+    BalancedLabelPropagation,
+    SocialHashPartitioner,
+    MetisLikePartitioner,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    @pytest.mark.parametrize("num_parts", [2, 4])
+    def test_valid_partition(self, factory, num_parts, social_graph, social_weights):
+        partition = factory().partition(social_graph, social_weights, num_parts)
+        assert partition.num_parts == num_parts
+        assert partition.assignment.shape == (social_graph.num_vertices,)
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < num_parts
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_empty_graph(self, factory):
+        graph = Graph.from_edges(0, [])
+        partition = factory().partition(graph, np.empty((1, 0)) + 1.0, 2)
+        assert partition.assignment.size == 0
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_deterministic_for_seed(self, factory, social_graph, social_weights):
+        a = factory().partition(social_graph, social_weights, 2)
+        b = factory().partition(social_graph, social_weights, 2)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_rejects_bad_weights(self, factory, social_graph):
+        with pytest.raises(ValueError):
+            factory().partition(social_graph, np.zeros(social_graph.num_vertices), 2)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_rejects_bad_num_parts(self, factory, social_graph, social_weights):
+        with pytest.raises(ValueError):
+            factory().partition(social_graph, social_weights, 0)
+
+
+class TestHash:
+    def test_near_balanced_vertices(self, social_graph, social_weights):
+        partition = HashPartitioner().partition(social_graph, social_weights, 4)
+        assert imbalance(partition, unit_weights(social_graph))[0] < 0.15
+
+    def test_low_locality_for_many_parts(self, social_graph, social_weights):
+        partition = HashPartitioner().partition(social_graph, social_weights, 8)
+        assert edge_locality(partition) < 30.0
+
+    def test_salt_changes_assignment(self, social_graph, social_weights):
+        a = HashPartitioner(salt=0).partition(social_graph, social_weights, 4)
+        b = HashPartitioner(salt=1).partition(social_graph, social_weights, 4)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_stateless_per_vertex(self, social_graph, social_weights):
+        # The same vertex id must always map to the same part for a fixed
+        # salt and k, independent of the rest of the graph.
+        partition = HashPartitioner(salt=5).partition(social_graph, social_weights, 4)
+        sub_graph, mapping = social_graph.subgraph(np.arange(50))
+        sub_partition = HashPartitioner(salt=5).partition(
+            sub_graph, social_weights[:, mapping], 4)
+        assert np.array_equal(partition.assignment[:50], sub_partition.assignment)
+
+
+class TestSpinner:
+    def test_improves_locality_over_hash(self, social_graph, social_weights):
+        spinner = SpinnerPartitioner(seed=0).partition(social_graph, social_weights, 2)
+        hashed = HashPartitioner().partition(social_graph, social_weights, 2)
+        assert edge_locality(spinner) > edge_locality(hashed)
+
+    def test_edge_dimension_roughly_balanced(self, social_graph, social_weights):
+        partition = SpinnerPartitioner(seed=0).partition(social_graph, social_weights, 2)
+        # Spinner's capacity constraint keeps the degree dimension bounded.
+        assert imbalance(partition, social_weights)[1] < 0.25
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            SpinnerPartitioner(iterations=0)
+
+
+class TestBLP:
+    def test_multi_dimensional_balance(self, social_graph, social_weights):
+        partition = BalancedLabelPropagation(seed=0).partition(
+            social_graph, social_weights, 4)
+        assert max_imbalance(partition, social_weights) < 0.10
+
+    def test_improves_locality_over_hash(self, lj_graph):
+        weights = standard_weights(lj_graph, 2)
+        blp = BalancedLabelPropagation(seed=0).partition(lj_graph, weights, 2)
+        hashed = HashPartitioner().partition(lj_graph, weights, 2)
+        assert edge_locality(blp) > edge_locality(hashed)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BalancedLabelPropagation(clusters_per_part=0)
+        with pytest.raises(ValueError):
+            BalancedLabelPropagation(clustering_iterations=0)
+
+
+class TestSHP:
+    def test_combined_dimension_balanced(self, social_graph, social_weights):
+        partition = SocialHashPartitioner(seed=0).partition(social_graph, social_weights, 2)
+        # SHP balances degree (high coefficient); the edge dimension should
+        # be much better balanced than a worst-case split.
+        assert imbalance(partition, social_weights)[1] < 0.20
+
+    def test_improves_locality_over_hash(self, lj_graph):
+        weights = standard_weights(lj_graph, 2)
+        shp = SocialHashPartitioner(seed=0).partition(lj_graph, weights, 2)
+        hashed = HashPartitioner().partition(lj_graph, weights, 2)
+        assert edge_locality(shp) > edge_locality(hashed)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            SocialHashPartitioner(iterations=0)
+
+
+class TestMetisLike:
+    def test_two_way_balance_with_two_constraints(self, social_graph, social_weights):
+        partition = MetisLikePartitioner(seed=0).partition(social_graph, social_weights, 2)
+        assert max_imbalance(partition, social_weights) < 0.15
+
+    def test_good_locality_on_clique_ring(self, clique_ring):
+        weights = standard_weights(clique_ring, 2)
+        partition = MetisLikePartitioner(seed=0).partition(clique_ring, weights, 2)
+        assert edge_locality(partition) > 85.0
+
+    def test_beats_hash_locality(self, lj_graph):
+        weights = standard_weights(lj_graph, 2)
+        metis = MetisLikePartitioner(seed=0).partition(lj_graph, weights, 2)
+        hashed = HashPartitioner().partition(lj_graph, weights, 2)
+        assert edge_locality(metis) > edge_locality(hashed) + 10
+
+    def test_kway_partition(self, social_graph, social_weights):
+        partition = MetisLikePartitioner(seed=0).partition(social_graph, social_weights, 4)
+        assert partition.num_parts == 4
+        assert partition.part_sizes().min() > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(allowed_imbalance=0.0)
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(coarsest_size=2)

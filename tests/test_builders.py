@@ -1,0 +1,65 @@
+"""Unit tests for the convenience graph builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graphs import from_adjacency_dict, from_edge_arrays, from_scipy_sparse
+
+
+class TestFromAdjacencyDict:
+    def test_basic(self):
+        graph = from_adjacency_dict({0: [1, 2], 1: [2]})
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_neighbor_only_vertices_included(self):
+        graph = from_adjacency_dict({0: [5]})
+        assert graph.num_vertices == 6
+
+    def test_explicit_vertex_count(self):
+        graph = from_adjacency_dict({0: [1]}, num_vertices=10)
+        assert graph.num_vertices == 10
+
+    def test_empty_dict(self):
+        graph = from_adjacency_dict({})
+        assert graph.num_vertices == 0
+
+
+class TestFromScipySparse:
+    def test_symmetric_matrix(self):
+        matrix = sparse.csr_matrix(np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 2
+
+    def test_asymmetric_matrix_is_symmetrized(self):
+        matrix = sparse.csr_matrix(np.array([[0, 1], [0, 0]]))
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 1
+
+    def test_diagonal_ignored(self):
+        matrix = sparse.eye(3, format="csr")
+        graph = from_scipy_sparse(matrix)
+        assert graph.num_edges == 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            from_scipy_sparse(sparse.csr_matrix(np.ones((2, 3))))
+
+
+class TestFromEdgeArrays:
+    def test_basic(self):
+        graph = from_edge_arrays([0, 1, 2], [1, 2, 3])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            from_edge_arrays([0, 1], [1])
+
+    def test_empty_arrays(self):
+        graph = from_edge_arrays([], [], num_vertices=3)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import read_edge_list, read_partition, write_edge_list
+from repro.graphs.generators import power_law_cluster_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = power_law_cluster_graph(200, 4, 10.0, seed=0)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.parts == 2
+        assert args.algorithm == "gd"
+        assert args.weights == ["unit", "degree"]
+
+    def test_rejects_unknown_weight(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "g.txt", "--weights", "bogus"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "g.txt", "--algorithm", "bogus"])
+
+
+class TestPartitionCommand:
+    def test_gd_partition_writes_assignment(self, graph_file, tmp_path, capsys):
+        output = tmp_path / "parts.txt"
+        code = main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "15", "--output", str(output)])
+        assert code == 0
+        graph = read_edge_list(graph_file)
+        assignment = read_partition(output)
+        assert assignment.shape == (graph.num_vertices,)
+        assert set(np.unique(assignment)).issubset({0, 1, 2, 3})
+        captured = capsys.readouterr().out
+        assert "edge locality" in captured
+
+    @pytest.mark.parametrize("algorithm", ["hash", "blp", "fennel", "ldg"])
+    def test_baseline_algorithms(self, graph_file, algorithm, capsys):
+        code = main(["partition", str(graph_file), "--algorithm", algorithm,
+                     "--parts", "2"])
+        assert code == 0
+        assert "edge locality" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_evaluate_roundtrip(self, graph_file, tmp_path, capsys):
+        output = tmp_path / "parts.txt"
+        assert main(["partition", str(graph_file), "--iterations", "10",
+                     "--output", str(output)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", str(graph_file), str(output)]) == 0
+        assert "imbalance" in capsys.readouterr().out
+
+    def test_evaluate_length_mismatch(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\n1\n")
+        assert main(["evaluate", str(graph_file), str(bad)]) == 2
+
+
+class TestGenerateCommand:
+    def test_generate_preset(self, tmp_path, capsys):
+        output = tmp_path / "lj.txt"
+        code = main(["generate", "livejournal", "--scale", "0.1",
+                     "--output", str(output)])
+        assert code == 0
+        graph = read_edge_list(output)
+        assert graph.num_vertices > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_unknown_preset(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "nope", "--output", str(tmp_path / "x.txt")])

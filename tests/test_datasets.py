@@ -1,0 +1,82 @@
+"""Unit tests for the dataset presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    DATASETS,
+    fb_like,
+    friendster_like,
+    livejournal_like,
+    load_dataset,
+    orkut_like,
+    stackoverflow_like,
+    twitter_like,
+)
+
+
+class TestPresets:
+    def test_all_presets_load(self):
+        for name in DATASETS:
+            graph = load_dataset(name, scale=0.1, seed=0)
+            assert graph.num_vertices >= 16
+            assert graph.num_edges > 0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("does-not-exist")
+
+    def test_scale_changes_size(self):
+        small = load_dataset("livejournal", scale=0.25, seed=0)
+        large = load_dataset("livejournal", scale=1.0, seed=0)
+        assert large.num_vertices > small.num_vertices
+
+    def test_deterministic_for_seed(self):
+        a = load_dataset("twitter", scale=0.2, seed=9)
+        b = load_dataset("twitter", scale=0.2, seed=9)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_named_helpers_match_load(self):
+        assert livejournal_like(scale=0.2, seed=1).num_vertices == \
+            load_dataset("livejournal", scale=0.2, seed=1).num_vertices
+        assert orkut_like(scale=0.2).num_edges == load_dataset("orkut", scale=0.2).num_edges
+
+    def test_orkut_denser_than_livejournal(self):
+        lj = livejournal_like(scale=0.5, seed=0)
+        orkut = orkut_like(scale=0.5, seed=0)
+        assert (orkut.degrees.mean()) > (lj.degrees.mean())
+
+    def test_twitter_more_skewed_than_livejournal(self):
+        lj = livejournal_like(scale=1.0, seed=0)
+        tw = twitter_like(scale=1.0, seed=0)
+        lj_skew = lj.degrees.max() / max(lj.degrees.mean(), 1.0)
+        tw_skew = tw.degrees.max() / max(tw.degrees.mean(), 1.0)
+        assert tw_skew > lj_skew
+
+    def test_friendster_is_largest_public(self):
+        names = ["livejournal", "orkut", "twitter", "friendster"]
+        sizes = {name: load_dataset(name, scale=1.0, seed=0).num_vertices for name in names}
+        assert sizes["friendster"] == max(sizes.values())
+
+    def test_stackoverflow_loads(self):
+        graph = stackoverflow_like(scale=0.2, seed=0)
+        assert graph.num_vertices > 0
+
+
+class TestFacebookPresets:
+    def test_fb_sizes_ordered(self):
+        fb3 = fb_like(3, scale=0.5, seed=0)
+        fb80 = fb_like(80, scale=0.5, seed=0)
+        fb400 = fb_like(400, scale=0.5, seed=0)
+        assert fb3.num_vertices < fb80.num_vertices < fb400.num_vertices
+        assert fb3.num_edges < fb80.num_edges < fb400.num_edges
+
+    def test_fb_via_load_dataset(self):
+        graph = load_dataset("fb-80", scale=0.25, seed=0)
+        assert graph.num_vertices > 0
+
+    def test_unknown_fb_preset(self):
+        with pytest.raises(KeyError):
+            fb_like(7)

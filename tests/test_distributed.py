@@ -1,0 +1,217 @@
+"""Unit tests for the distributed-processing simulator (cost model, engine, cluster)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HashPartitioner
+from repro.distributed import (
+    BSPEngine,
+    ConnectedComponents,
+    CostModel,
+    GiraphCluster,
+    HypergraphClustering,
+    JobStats,
+    MutualFriends,
+    PageRank,
+    SuperstepStats,
+)
+from repro.graphs import Graph, standard_weights, unit_weights
+from repro.partition import Partition
+
+
+def _split_placement(graph, num_parts=2) -> Partition:
+    assignment = np.arange(graph.num_vertices) % num_parts
+    return Partition(graph=graph, assignment=assignment, num_parts=num_parts)
+
+
+class TestCostModel:
+    def test_linear_in_each_term(self):
+        model = CostModel(vertex_cost=1.0, edge_cost=2.0, local_message_cost=3.0,
+                          remote_message_cost=4.0, fixed_overhead=10.0)
+        base = model.worker_compute_time(0, 0, 0, 0)
+        assert base == 10.0
+        assert model.worker_compute_time(1, 0, 0, 0) == 11.0
+        assert model.worker_compute_time(0, 1, 0, 0) == 12.0
+        assert model.worker_compute_time(0, 0, 1, 0) == 13.0
+        assert model.worker_compute_time(0, 0, 0, 1) == 14.0
+
+    def test_communication_bytes(self):
+        model = CostModel(message_bytes=8.0)
+        assert model.communication_bytes(10) == 80.0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(vertex_cost=-1.0)
+
+
+class TestStats:
+    def test_superstep_duration_is_max(self):
+        step = SuperstepStats(superstep=0, worker_times=np.array([1.0, 3.0, 2.0]),
+                              worker_communication_bytes=np.zeros(3), active_vertices=5)
+        assert step.duration == 3.0
+        assert step.mean_worker_time == 2.0
+        assert step.idle_time == 1.0
+
+    def test_job_total_runtime(self):
+        steps = [
+            SuperstepStats(superstep=i, worker_times=np.array([1.0, 2.0]),
+                           worker_communication_bytes=np.array([10.0, 20.0]),
+                           active_vertices=2)
+            for i in range(3)
+        ]
+        job = JobStats(application="PR", num_workers=2, supersteps=steps)
+        assert job.total_runtime == 6.0
+        assert job.total_communication_bytes == 90.0
+        assert job.worker_time_matrix().shape == (3, 2)
+
+    def test_empty_job(self):
+        job = JobStats(application="PR", num_workers=4, supersteps=[])
+        assert job.total_runtime == 0.0
+        assert job.runtime_summary() == {"mean": 0.0, "max": 0.0, "stdev": 0.0}
+
+
+class TestEngineAccounting:
+    def test_message_routing_conserves_totals(self, social_graph, social_weights):
+        engine = BSPEngine()
+        placement = _split_placement(social_graph, 4)
+        _, stats = engine.run(social_graph, placement, PageRank(supersteps=1))
+        step = stats.supersteps[0]
+        # PageRank sends 1 message per directed edge: total received =
+        # 2 |E| split between local and remote.
+        model = engine.cost_model
+        total_received = (step.worker_communication_bytes.sum() / model.message_bytes)
+        assert total_received <= 2 * social_graph.num_edges
+        assert step.active_vertices == social_graph.num_vertices
+
+    def test_single_worker_has_no_remote_traffic(self, social_graph):
+        engine = BSPEngine()
+        placement = Partition.trivial(social_graph, num_parts=1)
+        _, stats = engine.run(social_graph, placement, PageRank(supersteps=1))
+        assert stats.supersteps[0].communication_bytes == 0.0
+
+    def test_better_locality_means_less_communication(self, clique_ring):
+        engine = BSPEngine()
+        # Placement aligned with cliques vs a hashed placement.
+        aligned = Partition(graph=clique_ring,
+                            assignment=np.arange(clique_ring.num_vertices) // 8 % 2,
+                            num_parts=2)
+        weights = standard_weights(clique_ring, 2)
+        hashed = HashPartitioner().partition(clique_ring, weights, 2)
+        _, aligned_stats = engine.run(clique_ring, aligned, PageRank(supersteps=1))
+        _, hashed_stats = engine.run(clique_ring, hashed, PageRank(supersteps=1))
+        assert (aligned_stats.total_communication_bytes
+                < hashed_stats.total_communication_bytes)
+
+    def test_mismatched_placement_rejected(self, social_graph, triangle_graph):
+        engine = BSPEngine()
+        placement = Partition.trivial(triangle_graph, num_parts=1)
+        with pytest.raises(ValueError):
+            engine.run(social_graph, placement, PageRank(supersteps=1))
+
+    def test_max_supersteps_override(self, social_graph):
+        engine = BSPEngine()
+        placement = _split_placement(social_graph)
+        _, stats = engine.run(social_graph, placement, PageRank(supersteps=30),
+                              max_supersteps=2)
+        assert stats.num_supersteps == 2
+
+
+class TestApplications:
+    def test_pagerank_matches_weight_function(self, social_graph):
+        from repro.graphs.weights import pagerank_weights
+
+        engine = BSPEngine()
+        placement = _split_placement(social_graph)
+        ranks, _ = engine.run(social_graph, placement, PageRank(supersteps=60))
+        reference = pagerank_weights(social_graph)
+        reference = reference / reference.sum()
+        ranks = ranks / ranks.sum()
+        assert np.allclose(ranks, reference, atol=1e-3)
+
+    def test_connected_components_matches_networkx(self, clique_ring):
+        import networkx as nx
+
+        engine = BSPEngine()
+        placement = _split_placement(clique_ring)
+        labels, stats = engine.run(clique_ring, placement, ConnectedComponents())
+        components = list(nx.connected_components(clique_ring.to_networkx()))
+        # Same number of components and consistent labelling within components.
+        assert len(np.unique(labels)) == len(components)
+        for component in components:
+            component_labels = labels[list(component)]
+            assert np.all(component_labels == component_labels[0])
+
+    def test_connected_components_halts_early(self, clique_ring):
+        engine = BSPEngine()
+        placement = _split_placement(clique_ring)
+        _, stats = engine.run(clique_ring, placement, ConnectedComponents())
+        assert stats.num_supersteps < ConnectedComponents.default_supersteps
+
+    def test_cc_activity_decays(self, clique_ring):
+        engine = BSPEngine()
+        placement = _split_placement(clique_ring)
+        _, stats = engine.run(clique_ring, placement, ConnectedComponents())
+        active = [step.active_vertices for step in stats.supersteps]
+        assert active[-1] <= active[0]
+
+    def test_mutual_friends_counts(self, triangle_graph):
+        engine = BSPEngine()
+        placement = _split_placement(triangle_graph)
+        counts, _ = engine.run(triangle_graph, placement, MutualFriends(rounds=1))
+        # In a triangle every edge has exactly one common neighbor; each
+        # vertex has two incident edges => per-vertex total 2.
+        assert np.allclose(counts, 2.0)
+
+    def test_mutual_friends_heavier_than_pagerank(self, social_graph):
+        engine = BSPEngine()
+        placement = _split_placement(social_graph)
+        _, mf_stats = engine.run(social_graph, placement, MutualFriends(rounds=1))
+        _, pr_stats = engine.run(social_graph, placement, PageRank(supersteps=1))
+        assert (mf_stats.total_communication_bytes > pr_stats.total_communication_bytes)
+
+    def test_hypergraph_clustering_labels_valid(self, social_graph):
+        engine = BSPEngine()
+        placement = _split_placement(social_graph)
+        labels, stats = engine.run(social_graph, placement, HypergraphClustering(supersteps=3))
+        assert labels.shape == (social_graph.num_vertices,)
+        assert stats.num_supersteps >= 1
+
+    def test_invalid_app_parameters(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRank(supersteps=0)
+        with pytest.raises(ValueError):
+            MutualFriends(rounds=0)
+        with pytest.raises(ValueError):
+            HypergraphClustering(supersteps=0)
+
+
+class TestCluster:
+    def test_run_job_report(self, social_graph, social_weights):
+        cluster = GiraphCluster(num_workers=4)
+        placement = HashPartitioner().partition(social_graph, social_weights, 4)
+        report = cluster.run_job(social_graph, placement, PageRank(supersteps=2),
+                                 placement_name="hash")
+        assert report.application == "PR"
+        assert report.partitioning == "hash"
+        assert report.total_runtime > 0
+        assert 0.0 <= report.edge_locality_pct <= 100.0
+
+    def test_worker_count_mismatch(self, social_graph, social_weights):
+        cluster = GiraphCluster(num_workers=8)
+        placement = HashPartitioner().partition(social_graph, social_weights, 4)
+        with pytest.raises(ValueError):
+            cluster.run_job(social_graph, placement, PageRank(supersteps=1))
+
+    def test_speedup_over(self, social_graph, social_weights):
+        cluster = GiraphCluster(num_workers=4)
+        placement = HashPartitioner().partition(social_graph, social_weights, 4)
+        report = cluster.run_job(social_graph, placement, PageRank(supersteps=2))
+        assert cluster.speedup_over(report, report) == pytest.approx(0.0)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            GiraphCluster(num_workers=0)

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chung_lu_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+    power_law_cluster_graph,
+    random_regular_graph,
+    ring_of_cliques,
+    star_graph,
+)
+
+
+class TestChungLu:
+    def test_vertex_count(self):
+        graph = chung_lu_graph(200, average_degree=8.0, seed=0)
+        assert graph.num_vertices == 200
+
+    def test_average_degree_in_range(self):
+        graph = chung_lu_graph(500, average_degree=10.0, seed=1)
+        assert 4.0 < graph.degrees.mean() < 14.0
+
+    def test_deterministic_with_seed(self):
+        a = chung_lu_graph(100, average_degree=6.0, seed=42)
+        b = chung_lu_graph(100, average_degree=6.0, seed=42)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_different_seeds_differ(self):
+        a = chung_lu_graph(100, average_degree=6.0, seed=1)
+        b = chung_lu_graph(100, average_degree=6.0, seed=2)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_skewed_degrees(self):
+        graph = chung_lu_graph(2000, average_degree=10.0, exponent=2.1, seed=3)
+        degrees = graph.degrees
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_invalid_vertex_count(self):
+        with pytest.raises(ValueError):
+            chung_lu_graph(0, average_degree=5.0)
+
+
+class TestPlantedPartition:
+    def test_sizes(self):
+        graph = planted_partition_graph(300, 3, intra_degree=10.0, inter_degree=2.0, seed=0)
+        assert graph.num_vertices == 300
+
+    def test_community_structure_visible(self):
+        graph = planted_partition_graph(300, 2, intra_degree=12.0, inter_degree=1.0, seed=1)
+        # With strong communities most edges should be short-range in the
+        # community id space; just check the graph is reasonably dense.
+        assert graph.degrees.mean() > 6.0
+
+    def test_invalid_communities(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph(100, 0, 5.0, 1.0)
+
+
+class TestPowerLawCluster:
+    def test_deterministic(self):
+        a = power_law_cluster_graph(200, 4, 8.0, seed=5)
+        b = power_law_cluster_graph(200, 4, 8.0, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_mixing_bounds(self):
+        with pytest.raises(ValueError):
+            power_law_cluster_graph(100, 4, 8.0, mixing=1.5)
+
+    def test_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            power_law_cluster_graph(100, 4, 8.0, degree_community_correlation=2.0)
+
+    def test_reasonable_density(self):
+        graph = power_law_cluster_graph(1000, 10, 20.0, seed=2)
+        assert 8.0 < graph.degrees.mean() < 28.0
+
+    def test_hubs_exist(self):
+        graph = power_law_cluster_graph(2000, 10, 20.0, exponent=2.1, seed=2)
+        assert graph.degrees.max() > 5 * graph.degrees.mean()
+
+
+class TestStructuredGenerators:
+    def test_ring_of_cliques_counts(self):
+        graph = ring_of_cliques(4, 5)
+        assert graph.num_vertices == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 ring edges
+        assert graph.num_edges == 44
+
+    def test_single_clique_ring(self):
+        graph = ring_of_cliques(1, 4)
+        assert graph.num_edges == 6
+
+    def test_ring_of_cliques_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 5)
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 7
+
+    def test_grid_counts(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert np.all(graph.degrees == 5)
+
+    def test_random_regular_degree(self):
+        graph = random_regular_graph(100, 4, seed=0)
+        # Configuration model: degrees are close to the target after
+        # removing duplicates / self loops.
+        assert 3.0 <= graph.degrees.mean() <= 4.0
+
+    def test_random_regular_invalid_degree(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(10, 10)
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_density(self):
+        graph = erdos_renyi_graph(60, 0.2, seed=0)
+        expected = 0.2 * 60 * 59 / 2
+        assert 0.5 * expected < graph.num_edges < 1.5 * expected

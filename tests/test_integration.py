@@ -1,0 +1,95 @@
+"""End-to-end integration tests reproducing the paper's headline claims in miniature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HashPartitioner, SpinnerPartitioner
+from repro.core import GDConfig, GDPartitioner
+from repro.distributed import GiraphCluster, PageRank
+from repro.graphs import livejournal_like, standard_weights, twitter_like
+from repro.partition import edge_locality, is_epsilon_balanced, max_imbalance
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return twitter_like(scale=0.3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def lj_graph_module():
+    return livejournal_like(scale=0.3, seed=1)
+
+
+class TestHeadlineClaims:
+    def test_gd_balanced_and_local_multi_dimensional(self, twitter_graph):
+        """GD achieves near-perfect 2-D balance with high locality (§4.1)."""
+        weights = standard_weights(twitter_graph, 2)
+        partitioner = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=60, seed=0))
+        partition = partitioner.partition(twitter_graph, weights, num_parts=8)
+        assert is_epsilon_balanced(partition, weights, epsilon=0.06)
+        hash_partition = HashPartitioner().partition(twitter_graph, weights, 8)
+        assert edge_locality(partition) > edge_locality(hash_partition) + 20
+
+    def test_spinner_cannot_balance_both_dimensions(self, twitter_graph):
+        """Spinner leaves one dimension imbalanced on skewed graphs (Fig. 4)."""
+        weights = standard_weights(twitter_graph, 2)
+        spinner = SpinnerPartitioner(seed=0).partition(twitter_graph, weights, 8)
+        gd = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=60, seed=0)).partition(
+            twitter_graph, weights, 8)
+        assert max_imbalance(gd, weights) < max_imbalance(spinner, weights)
+
+    def test_gd_handles_four_dimensions(self, lj_graph_module):
+        """GD stays balanced with d = 4 unrelated weights (Table 3)."""
+        weights = standard_weights(lj_graph_module, 4)
+        partitioner = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=60, seed=0))
+        partition = partitioner.partition(lj_graph_module, weights, num_parts=2)
+        assert max_imbalance(partition, weights) < 0.06
+        assert edge_locality(partition) > 60.0
+
+    def test_vertex_edge_partitioning_speeds_up_pagerank(self, lj_graph_module):
+        """2-D balanced placement beats hash placement end to end (Fig. 7)."""
+        weights = standard_weights(lj_graph_module, 2)
+        num_workers = 8
+        cluster = GiraphCluster(num_workers=num_workers)
+        program = PageRank(supersteps=3)
+
+        hash_placement = HashPartitioner().partition(lj_graph_module, weights, num_workers)
+        gd_placement = GDPartitioner(
+            epsilon=0.05, config=GDConfig(iterations=40, seed=0)).partition(
+            lj_graph_module, weights, num_workers)
+
+        hash_report = cluster.run_job(lj_graph_module, hash_placement, program)
+        gd_report = cluster.run_job(lj_graph_module, gd_placement, program)
+        assert gd_report.total_runtime < hash_report.total_runtime
+        assert (gd_report.total_communication_bytes
+                < hash_report.total_communication_bytes)
+
+    def test_pagerank_output_independent_of_placement(self, lj_graph_module):
+        """The simulator changes cost accounting, never application results."""
+        weights = standard_weights(lj_graph_module, 2)
+        cluster = GiraphCluster(num_workers=4)
+        program = PageRank(supersteps=5)
+        placements = [
+            HashPartitioner(salt=s).partition(lj_graph_module, weights, 4) for s in (0, 1)
+        ]
+        outputs = [cluster.run_job(lj_graph_module, p, program).output for p in placements]
+        assert np.allclose(outputs[0], outputs[1])
+
+    def test_gd_scales_roughly_linearly(self):
+        """Doubling |E| roughly doubles GD runtime (Fig. 11)."""
+        from repro.core import gd_bisect
+        from repro.graphs import fb_like
+
+        times = []
+        edges = []
+        for scale in (0.5, 2.0):
+            graph = fb_like(80, scale=scale, seed=0)
+            weights = standard_weights(graph, 2)
+            result = gd_bisect(graph, weights, 0.05, GDConfig(iterations=20, seed=0))
+            times.append(result.elapsed_seconds)
+            edges.append(graph.num_edges)
+        ratio = (times[1] / times[0]) / (edges[1] / edges[0])
+        # Allow generous slack: constant overheads dominate at tiny sizes.
+        assert ratio < 6.0

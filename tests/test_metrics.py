@@ -1,0 +1,130 @@
+"""Unit tests for partition quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, standard_weights, unit_weights
+from repro.partition import (
+    Partition,
+    cut_size,
+    edge_locality,
+    imbalance,
+    is_epsilon_balanced,
+    max_imbalance,
+    objective_value,
+    quality_summary,
+)
+
+
+@pytest.fixture
+def square_graph() -> Graph:
+    """4-cycle: 0-1-2-3-0."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+class TestCutAndLocality:
+    def test_cut_size_square(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 1, 1]),
+                              num_parts=2)
+        assert cut_size(partition) == 2
+
+    def test_cut_size_all_same_part(self, square_graph):
+        partition = Partition.trivial(square_graph, num_parts=2)
+        assert cut_size(partition) == 0
+
+    def test_cut_size_alternating(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 1, 0, 1]),
+                              num_parts=2)
+        assert cut_size(partition) == 4
+
+    def test_edge_locality_complement(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 1, 1]),
+                              num_parts=2)
+        assert edge_locality(partition) == 50.0
+
+    def test_edge_locality_empty_graph(self):
+        graph = Graph.from_edges(3, [])
+        assert edge_locality(Partition.trivial(graph)) == 100.0
+
+    def test_objective_is_uncut_edges(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 1, 1]),
+                              num_parts=2)
+        assert objective_value(partition) == 2
+
+    def test_two_cliques_optimal_cut(self, two_cliques_graph):
+        partition = Partition(graph=two_cliques_graph,
+                              assignment=np.array([0] * 5 + [1] * 5), num_parts=2)
+        assert cut_size(partition) == 1
+        assert edge_locality(partition) == pytest.approx(100.0 * 20 / 21)
+
+
+class TestImbalance:
+    def test_perfectly_balanced(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 1, 1]),
+                              num_parts=2)
+        assert np.allclose(imbalance(partition, unit_weights(square_graph)), [0.0])
+
+    def test_unbalanced_vertex_counts(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 0, 1]),
+                              num_parts=2)
+        # Sizes 3 and 1: max/avg - 1 = 3/2 - 1 = 0.5.
+        assert np.allclose(imbalance(partition, unit_weights(square_graph)), [0.5])
+
+    def test_multi_dimensional_shape(self, social_graph, social_weights):
+        partition = Partition(graph=social_graph,
+                              assignment=np.arange(social_graph.num_vertices) % 4,
+                              num_parts=4)
+        values = imbalance(partition, social_weights)
+        assert values.shape == (2,)
+        assert np.all(values >= 0)
+
+    def test_max_imbalance_is_max(self, social_graph, social_weights):
+        partition = Partition(graph=social_graph,
+                              assignment=np.arange(social_graph.num_vertices) % 3,
+                              num_parts=3)
+        assert max_imbalance(partition, social_weights) == pytest.approx(
+            imbalance(partition, social_weights).max())
+
+    def test_single_part_zero_imbalance(self, square_graph):
+        partition = Partition.trivial(square_graph)
+        assert max_imbalance(partition, unit_weights(square_graph)) == 0.0
+
+
+class TestEpsilonBalance:
+    def test_balanced_within_epsilon(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 1, 1]),
+                              num_parts=2)
+        assert is_epsilon_balanced(partition, unit_weights(square_graph), epsilon=0.01)
+
+    def test_unbalanced_outside_epsilon(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 0, 1]),
+                              num_parts=2)
+        assert not is_epsilon_balanced(partition, unit_weights(square_graph), epsilon=0.1)
+
+    def test_large_epsilon_accepts_anything(self, square_graph):
+        partition = Partition(graph=square_graph, assignment=np.array([0, 0, 0, 1]),
+                              num_parts=2)
+        assert is_epsilon_balanced(partition, unit_weights(square_graph), epsilon=1.0)
+
+    def test_requires_all_dimensions(self, small_star):
+        # Hub on one side: vertex counts can be balanced while degrees are not.
+        graph = small_star
+        assignment = np.zeros(graph.num_vertices, dtype=int)
+        assignment[7:] = 1
+        partition = Partition(graph=graph, assignment=assignment, num_parts=2)
+        weights = standard_weights(graph, 2)
+        assert not is_epsilon_balanced(partition, weights, epsilon=0.1)
+
+
+class TestQualitySummary:
+    def test_keys_and_consistency(self, social_graph, social_weights):
+        partition = Partition(graph=social_graph,
+                              assignment=np.arange(social_graph.num_vertices) % 2,
+                              num_parts=2)
+        summary = quality_summary(partition, social_weights)
+        assert set(summary) == {"edge_locality_pct", "cut_size", "max_imbalance_pct",
+                                "num_parts"}
+        assert summary["edge_locality_pct"] == pytest.approx(edge_locality(partition))
+        assert summary["cut_size"] == cut_size(partition)

@@ -1,0 +1,146 @@
+"""Unit tests for the quadratic relaxation, noise schedule, step controller, config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GDConfig, NoiseSchedule, QuadraticRelaxation, StepSizeController, \
+    target_step_length
+from repro.graphs import Graph
+
+
+class TestQuadraticRelaxation:
+    def test_objective_matches_bruteforce(self, two_cliques_graph, rng):
+        relaxation = QuadraticRelaxation(two_cliques_graph)
+        x = rng.uniform(-1, 1, size=two_cliques_graph.num_vertices)
+        brute = 0.5 * sum(x[u] * x[v] for u, v in two_cliques_graph.iter_edges()) * 2
+        assert np.isclose(relaxation.objective(x), brute)
+
+    def test_gradient_matches_bruteforce(self, triangle_graph):
+        relaxation = QuadraticRelaxation(triangle_graph)
+        x = np.array([1.0, -1.0, 0.5])
+        expected = np.array([x[1] + x[2], x[0] + x[2], x[0] + x[1]])
+        assert np.allclose(relaxation.gradient(x), expected)
+
+    def test_integral_solution_objective_counts_uncut_edges(self, two_cliques_graph):
+        relaxation = QuadraticRelaxation(two_cliques_graph)
+        sides = np.array([1.0] * 5 + [-1.0] * 5)
+        # 20 internal edges agree, 1 bridge disagrees: f = (20 - 1) = 19.
+        assert np.isclose(relaxation.objective(sides), 19.0)
+        assert np.isclose(relaxation.expected_uncut_edges(sides), 19.0 + 21 / 2)
+
+    def test_gradient_step(self, triangle_graph):
+        relaxation = QuadraticRelaxation(triangle_graph)
+        x = np.array([1.0, 0.0, 0.0])
+        stepped = relaxation.gradient_step(x, step_size=0.5)
+        assert np.allclose(stepped, x + 0.5 * relaxation.gradient(x))
+
+    def test_zero_vector_is_saddle(self, social_graph):
+        relaxation = QuadraticRelaxation(social_graph)
+        assert np.allclose(relaxation.gradient(np.zeros(social_graph.num_vertices)), 0.0)
+
+
+class TestNoiseSchedule:
+    def test_noise_only_at_first_iteration(self):
+        schedule = NoiseSchedule(100, std=0.1, rng=np.random.default_rng(0))
+        assert np.any(schedule.sample(0) != 0)
+        assert np.all(schedule.sample(1) == 0)
+        assert np.all(schedule.sample(5) == 0)
+
+    def test_noise_every_iteration(self):
+        schedule = NoiseSchedule(50, std=0.1, every_iteration=True,
+                                 rng=np.random.default_rng(0))
+        assert np.any(schedule.sample(3) != 0)
+
+    def test_default_std_scales_with_n(self):
+        assert NoiseSchedule(100).std == pytest.approx(0.1)
+        assert NoiseSchedule(10000).std == pytest.approx(0.01)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(-1)
+        with pytest.raises(ValueError):
+            NoiseSchedule(10, std=-0.5)
+
+
+class TestStepSizeController:
+    def test_target_step_length_formula(self):
+        assert target_step_length(10000, 100, factor=2.0) == pytest.approx(2.0)
+
+    def test_first_step_normalizes_gradient(self):
+        controller = StepSizeController(target_length=1.0, adaptive=True)
+        gradient = np.array([3.0, 4.0])  # norm 5
+        assert controller.step_size(gradient) == pytest.approx(0.2)
+
+    def test_adaptive_update_increases_when_short(self):
+        controller = StepSizeController(target_length=1.0, adaptive=True)
+        gamma0 = controller.step_size(np.array([1.0]))
+        controller.update(realized_length=0.25)  # realized 4x too short
+        assert controller.step_size(np.array([1.0])) > gamma0
+
+    def test_adaptive_update_decreases_when_long(self):
+        controller = StepSizeController(target_length=1.0, adaptive=True)
+        gamma0 = controller.step_size(np.array([1.0]))
+        controller.update(realized_length=4.0)
+        assert controller.step_size(np.array([1.0])) < gamma0
+
+    def test_nonadaptive_keeps_gamma(self):
+        controller = StepSizeController(target_length=1.0, adaptive=False)
+        gamma0 = controller.step_size(np.array([2.0]))
+        controller.update(realized_length=0.01)
+        assert controller.step_size(np.array([2.0])) == gamma0
+
+    def test_zero_realized_pushes_harder(self):
+        controller = StepSizeController(target_length=1.0, adaptive=True)
+        gamma0 = controller.step_size(np.array([1.0]))
+        controller.update(realized_length=0.0)
+        assert controller.step_size(np.array([1.0])) == pytest.approx(2.0 * gamma0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            StepSizeController(target_length=0.0)
+        with pytest.raises(ValueError):
+            target_step_length(100, 0)
+
+
+class TestGDConfig:
+    def test_defaults_valid(self):
+        config = GDConfig()
+        assert config.iterations == 100
+        assert config.projection == "alternating_oneshot"
+
+    def test_with_updates(self):
+        config = GDConfig().with_updates(iterations=10, projection="exact")
+        assert config.iterations == 10
+        assert config.projection == "exact"
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            GDConfig(iterations=0)
+
+    def test_invalid_projection(self):
+        with pytest.raises(ValueError):
+            GDConfig(projection="magic")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            GDConfig(fixing_threshold=0.0)
+        with pytest.raises(ValueError):
+            GDConfig(fixing_threshold=1.5)
+
+    def test_invalid_step_factor(self):
+        with pytest.raises(ValueError):
+            GDConfig(step_length_factor=0.0)
+
+    def test_invalid_projection_epsilon(self):
+        with pytest.raises(ValueError):
+            GDConfig(projection_epsilon=0.0)
+
+    def test_invalid_fixing_fraction(self):
+        with pytest.raises(ValueError):
+            GDConfig(fixing_start_fraction=1.5)
+
+    def test_invalid_final_rounds(self):
+        with pytest.raises(ValueError):
+            GDConfig(final_projection_rounds=-1)

@@ -1,0 +1,104 @@
+"""Unit tests for randomized rounding and balance repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import balance_repair, deterministic_round, randomized_round
+from repro.graphs import Graph, standard_weights, unit_weights
+from repro.partition import Partition, is_epsilon_balanced
+
+
+class TestRandomizedRound:
+    def test_integral_input_unchanged(self, rng):
+        x = np.array([1.0, -1.0, 1.0, -1.0])
+        assert np.array_equal(randomized_round(x, rng), x)
+
+    def test_output_is_plus_minus_one(self, rng):
+        x = rng.uniform(-1, 1, size=100)
+        sides = randomized_round(x, rng)
+        assert set(np.unique(sides)).issubset({-1.0, 1.0})
+
+    def test_expectation_matches_fraction(self):
+        x = np.full(20000, 0.5)  # P(+1) = 0.75
+        sides = randomized_round(x, np.random.default_rng(0))
+        assert np.isclose((sides == 1).mean(), 0.75, atol=0.02)
+
+    def test_zero_gives_fair_coin(self):
+        sides = randomized_round(np.zeros(20000), np.random.default_rng(1))
+        assert np.isclose((sides == 1).mean(), 0.5, atol=0.02)
+
+    def test_default_rng_is_deterministic(self):
+        x = np.linspace(-1, 1, 50)
+        assert np.array_equal(randomized_round(x), randomized_round(x))
+
+
+class TestDeterministicRound:
+    def test_sign_rounding(self):
+        assert np.array_equal(deterministic_round(np.array([0.3, -0.2, 0.0])),
+                              [1.0, -1.0, 1.0])
+
+    def test_idempotent(self):
+        x = np.array([0.9, -0.9])
+        assert np.array_equal(deterministic_round(deterministic_round(x)),
+                              deterministic_round(x))
+
+
+class TestBalanceRepair:
+    def test_repairs_unit_weight_imbalance(self, clique_ring):
+        graph = clique_ring
+        weights = unit_weights(graph)[None, :]
+        sides = np.ones(graph.num_vertices)   # everything on one side
+        repaired = balance_repair(graph, sides, weights, epsilon=0.05)
+        partition = Partition.from_sides(graph, repaired)
+        assert is_epsilon_balanced(partition, weights, epsilon=0.05)
+
+    def test_repairs_two_dimensions(self, social_graph, social_weights):
+        rng = np.random.default_rng(3)
+        sides = np.where(rng.random(social_graph.num_vertices) < 0.8, 1.0, -1.0)
+        repaired = balance_repair(social_graph, sides, social_weights, epsilon=0.05)
+        partition = Partition.from_sides(social_graph, repaired)
+        assert is_epsilon_balanced(partition, social_weights, epsilon=0.06)
+
+    def test_balanced_input_unchanged(self, clique_ring):
+        graph = clique_ring
+        weights = unit_weights(graph)[None, :]
+        sides = np.where(np.arange(graph.num_vertices) % 2 == 0, 1.0, -1.0)
+        repaired = balance_repair(graph, sides, weights, epsilon=0.1)
+        assert np.array_equal(repaired, sides)
+
+    def test_never_increases_total_violation(self, social_graph, social_weights):
+        rng = np.random.default_rng(5)
+        sides = np.where(rng.random(social_graph.num_vertices) < 0.9, 1.0, -1.0)
+        totals = social_weights.sum(axis=1)
+        slack = 0.03 * totals
+
+        def violation(s):
+            return float((np.maximum(np.abs(social_weights @ s) - slack, 0) / totals).sum())
+
+        repaired = balance_repair(social_graph, sides, social_weights, epsilon=0.03)
+        assert violation(repaired) <= violation(sides) + 1e-12
+
+    def test_respects_max_moves(self, clique_ring):
+        graph = clique_ring
+        weights = unit_weights(graph)[None, :]
+        sides = np.ones(graph.num_vertices)
+        repaired = balance_repair(graph, sides, weights, epsilon=0.01, max_moves=3)
+        # Only 3 vertices may have been flipped.
+        assert int((repaired != sides).sum()) <= 3
+
+    def test_empty_graph(self):
+        graph = Graph.from_edges(0, [])
+        repaired = balance_repair(graph, np.empty(0), np.empty((1, 0)), epsilon=0.1)
+        assert repaired.size == 0
+
+    def test_prefers_low_damage_moves(self, two_cliques_graph):
+        # Starting from everything in one part, the repair must end balanced;
+        # with two 5-cliques the best split keeps the cliques intact.
+        graph = two_cliques_graph
+        weights = unit_weights(graph)[None, :]
+        sides = np.ones(graph.num_vertices)
+        repaired = balance_repair(graph, sides, weights, epsilon=0.05)
+        partition = Partition.from_sides(graph, repaired)
+        assert is_epsilon_balanced(partition, weights, epsilon=0.05)

@@ -1,0 +1,77 @@
+"""Unit tests for the streaming partitioners (LDG and Fennel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FennelPartitioner, HashPartitioner, LinearDeterministicGreedy
+from repro.graphs import Graph, standard_weights, unit_weights
+from repro.partition import edge_locality, imbalance
+
+STREAMING = [LinearDeterministicGreedy, FennelPartitioner]
+
+
+class TestStreamingContract:
+    @pytest.mark.parametrize("factory", STREAMING)
+    @pytest.mark.parametrize("num_parts", [2, 4])
+    def test_valid_partition(self, factory, num_parts, social_graph, social_weights):
+        partition = factory().partition(social_graph, social_weights, num_parts)
+        assert partition.num_parts == num_parts
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < num_parts
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_every_vertex_assigned(self, factory, social_graph, social_weights):
+        partition = factory().partition(social_graph, social_weights, 4)
+        assert np.all(partition.assignment >= 0)
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_deterministic_for_seed(self, factory, social_graph, social_weights):
+        a = factory(seed=3).partition(social_graph, social_weights, 2)
+        b = factory(seed=3).partition(social_graph, social_weights, 2)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_empty_graph(self, factory):
+        graph = Graph.from_edges(0, [])
+        partition = factory().partition(graph, np.empty((1, 0)) + 1.0, 2)
+        assert partition.assignment.size == 0
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_capacity_respected(self, factory, social_graph, social_weights):
+        partition = factory().partition(social_graph, social_weights, 4)
+        # The streaming capacity is 1.05 * n / k on vertex counts.
+        assert imbalance(partition, unit_weights(social_graph))[0] < 0.12
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_beats_hash_locality(self, factory, lj_graph):
+        weights = standard_weights(lj_graph, 2)
+        streamed = factory(seed=0).partition(lj_graph, weights, 2)
+        hashed = HashPartitioner().partition(lj_graph, weights, 2)
+        assert edge_locality(streamed) > edge_locality(hashed)
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    @pytest.mark.parametrize("order", ["random", "natural", "bfs"])
+    def test_stream_orders(self, factory, order, social_graph, social_weights):
+        partition = factory(stream_order=order).partition(social_graph, social_weights, 2)
+        assert partition.num_parts == 2
+
+    @pytest.mark.parametrize("factory", STREAMING)
+    def test_unknown_order_rejected(self, factory, social_graph, social_weights):
+        with pytest.raises(ValueError):
+            factory(stream_order="sorted").partition(social_graph, social_weights, 2)
+
+
+class TestFennelSpecific:
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(gamma=1.0)
+
+    def test_bfs_order_beats_random_assignment(self, lj_graph):
+        weights = standard_weights(lj_graph, 2)
+        bfs_order = FennelPartitioner(stream_order="bfs", seed=0).partition(
+            lj_graph, weights, 4)
+        # A BFS stream keeps enough locality to clearly beat the 1/k of a
+        # random assignment.
+        assert edge_locality(bfs_order) > 100.0 / 4 + 10.0

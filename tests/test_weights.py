@@ -1,0 +1,104 @@
+"""Unit tests for the vertex weight functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    degree_weights,
+    neighbor_degree_sum_weights,
+    pagerank_weights,
+    standard_weights,
+    unit_weights,
+    weight_matrix,
+)
+
+
+class TestUnitWeights:
+    def test_all_ones(self, social_graph):
+        weights = unit_weights(social_graph)
+        assert np.all(weights == 1.0)
+        assert weights.shape == (social_graph.num_vertices,)
+
+
+class TestDegreeWeights:
+    def test_matches_degrees(self, triangle_graph):
+        assert np.array_equal(degree_weights(triangle_graph), [2, 2, 2])
+
+    def test_isolated_vertex_gets_floor(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        weights = degree_weights(graph)
+        assert weights[2] > 0
+        assert weights[2] < 1
+
+    def test_strictly_positive(self, social_graph):
+        assert np.all(degree_weights(social_graph) > 0)
+
+
+class TestNeighborDegreeSum:
+    def test_path_values(self, path_graph):
+        # Path 0-1-2-3-4-5: degree = [1,2,2,2,2,1].
+        weights = neighbor_degree_sum_weights(path_graph)
+        assert weights[0] == 2.0            # neighbor 1 has degree 2
+        assert weights[1] == 1.0 + 2.0      # neighbors 0 and 2
+        assert weights[2] == 2.0 + 2.0
+
+    def test_star_hub(self, small_star):
+        weights = neighbor_degree_sum_weights(small_star)
+        assert weights[0] == 12.0           # 12 leaves of degree 1
+        assert np.all(weights[1:] == 12.0)  # each leaf sees only the hub
+
+    def test_empty_graph_uses_floor(self):
+        graph = Graph.from_edges(4, [])
+        weights = neighbor_degree_sum_weights(graph)
+        assert np.all(weights > 0)
+
+
+class TestPagerank:
+    def test_sums_to_vertex_count(self, social_graph):
+        weights = pagerank_weights(social_graph)
+        assert np.isclose(weights.sum(), social_graph.num_vertices)
+
+    def test_hub_has_largest_rank(self, small_star):
+        weights = pagerank_weights(small_star)
+        assert np.argmax(weights) == 0
+
+    def test_uniform_on_regular_graph(self, triangle_graph):
+        weights = pagerank_weights(triangle_graph)
+        assert np.allclose(weights, weights[0])
+
+    def test_positive(self, social_graph):
+        assert np.all(pagerank_weights(social_graph) > 0)
+
+    def test_empty_graph(self):
+        weights = pagerank_weights(Graph.from_edges(0, []))
+        assert weights.size == 0
+
+
+class TestWeightMatrix:
+    def test_shape(self, social_graph):
+        matrix = weight_matrix(social_graph, ["unit", "degree"])
+        assert matrix.shape == (2, social_graph.num_vertices)
+
+    def test_unknown_name(self, social_graph):
+        with pytest.raises(KeyError):
+            weight_matrix(social_graph, ["unit", "nope"])
+
+    def test_empty_names(self, social_graph):
+        with pytest.raises(ValueError):
+            weight_matrix(social_graph, [])
+
+    def test_standard_weights_dimensions(self, social_graph):
+        for d in (1, 2, 3, 4):
+            assert standard_weights(social_graph, d).shape[0] == d
+
+    def test_standard_weights_invalid_dimension(self, social_graph):
+        with pytest.raises(ValueError):
+            standard_weights(social_graph, 5)
+
+    def test_standard_weights_order(self, social_graph):
+        matrix = standard_weights(social_graph, 2)
+        assert np.all(matrix[0] == 1.0)
+        assert np.allclose(matrix[1], degree_weights(social_graph))
