@@ -9,13 +9,15 @@ paper after a run (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Generator scale shared by the benchmarks.  1.0 keeps the full suite in
 #: the low minutes; raise it (e.g. REPRO_BENCH_SCALE=4) for larger runs.
-BENCH_SCALE = 1.0
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def save_result(name: str, text: str) -> Path:
@@ -24,6 +26,22 @@ def save_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def save_json(name: str, payload: dict, directory: Path | str | None = None) -> Path:
+    """Persist machine-readable benchmark data as ``<name>.json``.
+
+    Used by the CI perf-regression guard (``benchmarks/perf_guard.py``) to
+    write ``BENCH_ci.json``; defaults to the same ``results/`` directory as
+    the rendered text tables.
+    """
+    target_dir = Path(directory) if directory is not None else RESULTS_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"[json saved to {path}]")
     return path
 
 

@@ -1,0 +1,22 @@
+"""Marker plumbing for the benchmark suite.
+
+Everything under ``benchmarks/`` is a pytest-benchmark timing test, so the
+``bench`` marker is applied here once instead of in every file; the heavier
+figure/table regenerations additionally carry an explicit ``slow`` marker in
+their own modules.  CI's fast lane deselects with ``-m "not slow"`` and the
+perf-regression lane selects just the microbenchmarks.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    # In a full-suite run this hook sees every collected item, including the
+    # ones under tests/ — only mark what actually lives in benchmarks/.
+    for item in items:
+        if _BENCHMARKS_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)

@@ -1,0 +1,143 @@
+"""CI perf-regression guard over the hot-path microbenchmarks.
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_microbenchmarks.py \
+        --benchmark-json=bench_raw.json
+    python benchmarks/perf_guard.py check bench_raw.json
+
+``check`` distills the pytest-benchmark output into machine-readable
+timings, writes them as ``BENCH_ci.json`` (via :func:`_util.save_json`),
+compares every benchmark's median against the checked-in baseline
+(``benchmarks/BENCH_baseline.json``) and exits non-zero if any hot-path
+benchmark regressed more than ``--factor`` (default 2×).
+
+Raw wall-clock numbers are not portable between the machine that produced
+the baseline and the CI runner, so before comparing, baseline medians are
+rescaled by the ratio of the two machines' ``test_perf_calibration_spmv``
+medians — a fixed sparse mat-vec whose speed tracks the memory-bandwidth
+bound kernels the suite actually measures.
+
+``snapshot`` refreshes the baseline from a raw pytest-benchmark JSON::
+
+    python benchmarks/perf_guard.py snapshot bench_raw.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from _util import save_json
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: Benchmark used to rescale the baseline to the speed of the machine
+#: running the check (see module docstring).
+CALIBRATION_BENCHMARK = "test_perf_calibration_spmv"
+
+DEFAULT_FACTOR = 2.0
+
+
+def distill(raw_path: Path) -> dict:
+    """Reduce a pytest-benchmark JSON file to ``{name: stats}`` timings."""
+    raw = json.loads(raw_path.read_text(encoding="utf-8"))
+    timings = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        timings[bench["name"]] = {
+            "median_seconds": stats["median"],
+            "mean_seconds": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", "unknown"),
+        "benchmarks": timings,
+    }
+
+
+def compare(current: dict, baseline: dict, factor: float) -> list[str]:
+    """Return one human-readable line per regression (empty = healthy)."""
+    current_benchmarks = current["benchmarks"]
+    baseline_benchmarks = baseline["benchmarks"]
+
+    calibration = 1.0
+    if (CALIBRATION_BENCHMARK in current_benchmarks
+            and CALIBRATION_BENCHMARK in baseline_benchmarks):
+        calibration = (current_benchmarks[CALIBRATION_BENCHMARK]["median_seconds"]
+                       / baseline_benchmarks[CALIBRATION_BENCHMARK]["median_seconds"])
+        print(f"calibration ({CALIBRATION_BENCHMARK}): this machine is "
+              f"{calibration:.2f}x the baseline machine")
+    else:
+        # Without calibration the comparison is raw wall-clock across
+        # machines, which is exactly what the guard is designed to avoid —
+        # make the degraded mode impossible to miss.
+        print(f"warning: {CALIBRATION_BENCHMARK} missing from "
+              f"{'this run' if CALIBRATION_BENCHMARK not in current_benchmarks else 'the baseline'}; "
+              f"comparing UNCALIBRATED wall-clock times", file=sys.stderr)
+
+    failures = []
+    for name, stats in sorted(baseline_benchmarks.items()):
+        if name == CALIBRATION_BENCHMARK:
+            continue
+        if name not in current_benchmarks:
+            print(f"warning: baseline benchmark {name} missing from this run")
+            continue
+        allowed = stats["median_seconds"] * calibration * factor
+        observed = current_benchmarks[name]["median_seconds"]
+        status = "FAIL" if observed > allowed else "ok"
+        print(f"{status:4s} {name}: {observed * 1e3:.3f} ms "
+              f"(allowed {allowed * 1e3:.3f} ms)")
+        if observed > allowed:
+            failures.append(f"{name}: {observed * 1e3:.3f} ms > "
+                            f"{factor}x calibrated baseline {allowed * 1e3:.3f} ms")
+    for name in sorted(set(current_benchmarks) - set(baseline_benchmarks)):
+        print(f"note: {name} has no baseline yet (run `perf_guard.py snapshot`)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="compare a run against the baseline")
+    check.add_argument("raw_json", type=Path, help="pytest-benchmark JSON output")
+    check.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    check.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                       help="allowed slowdown over the calibrated baseline")
+    check.add_argument("--output-name", default="BENCH_ci",
+                       help="name of the distilled JSON written under results/")
+
+    snapshot = subparsers.add_parser("snapshot", help="refresh the checked-in baseline")
+    snapshot.add_argument("raw_json", type=Path)
+    snapshot.add_argument("--output", type=Path, default=BASELINE_PATH)
+
+    args = parser.parse_args(argv)
+    distilled = distill(args.raw_json)
+
+    if args.command == "snapshot":
+        args.output.write_text(json.dumps(distilled, indent=2, sort_keys=True) + "\n",
+                               encoding="utf-8")
+        print(f"baseline written to {args.output}")
+        return 0
+
+    save_json(args.output_name, distilled)
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = compare(distilled, baseline, args.factor)
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,6 @@ records the quality/cost trade-off.
 
 import time
 
-import numpy as np
-
 from repro.core import GDConfig, gd_bisect, gd_multiway, recursive_bisection
 from repro.experiments import format_table
 from repro.graphs import livejournal_like, standard_weights

@@ -7,7 +7,12 @@ one-shot alternating projection tracks the exact projection.
 
 from repro.experiments import appendix_stackoverflow
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig15_adaptive_stackoverflow(benchmark):

@@ -7,7 +7,12 @@ projection tracks it closely.
 
 from repro.experiments import fig10_projection_methods
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig10_projection_methods(benchmark):

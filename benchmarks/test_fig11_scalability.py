@@ -1,8 +1,14 @@
 """Benchmark regenerating Figure 11: GD runtime vs graph size.
 
 Paper shape to reproduce: near-linear dependence of the partitioning time
-on the number of edges.
+on the number of edges.  The measured-parallel companion exercises the
+frontier scheduler's process backend against the serial reference.
 """
+
+import multiprocessing
+import os
+
+import pytest
 
 from repro.experiments import fig11_scalability
 
@@ -25,3 +31,26 @@ def test_fig11_scalability(benchmark):
     edge_ratio = last["num_edges"] / first["num_edges"]
     time_ratio = last["seconds"] / max(first["seconds"], 1e-9)
     assert time_ratio < edge_ratio ** 1.7
+
+
+@pytest.mark.slow
+def test_fig11_measured_parallel(benchmark):
+    result = run_once(benchmark, lambda: fig11_scalability.run_parallel(
+        scale=4.0, num_parts=8, worker_counts=(2, 4), iterations=30))
+    save_result("fig11_measured_parallel",
+                fig11_scalability.format_parallel_result(result))
+
+    rows = result["rows"]
+    # Hard guarantee regardless of core count: every backend/worker-count
+    # combination reproduces the serial partition bit for bit.
+    assert all(row["identical"] for row in rows)
+    # Wall-clock claims only make sense with real hardware parallelism AND a
+    # cheap pool start: under the spawn start method (macOS/Windows default)
+    # each worker re-imports numpy/scipy inside the timed region, which
+    # dwarfs the serial time at this scale.  With fork + >= 4 cores the
+    # widest configuration must not be slower than ~1.5x serial (a loose
+    # bound — per-level dispatch overhead on small graphs is real).
+    if (os.cpu_count() or 1) >= 4 and multiprocessing.get_start_method() == "fork":
+        serial = rows[0]["seconds"]
+        widest = rows[-1]["seconds"]
+        assert widest < 1.5 * serial

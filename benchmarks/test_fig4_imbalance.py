@@ -4,11 +4,14 @@ Paper shape to reproduce: Spinner and SHP cannot balance both dimensions on
 skewed graphs; Hash, BLP and GD stay near-balanced.
 """
 
-import numpy as np
-
 from repro.experiments import fig4_imbalance
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig4_imbalance(benchmark):

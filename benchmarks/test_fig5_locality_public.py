@@ -6,7 +6,12 @@ close to 100/k %.
 
 from repro.experiments import fig5_locality_public
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig5_locality_public(benchmark):

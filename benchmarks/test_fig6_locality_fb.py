@@ -6,7 +6,12 @@ Paper shape to reproduce: GD above BLP, both far above Hash, for k in
 
 from repro.experiments import fig6_locality_fb
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig6_locality_fb(benchmark):

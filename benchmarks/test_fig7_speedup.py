@@ -7,7 +7,12 @@ can regress.
 
 from repro.experiments import fig7_speedup
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_fig7_speedup(benchmark):

@@ -8,7 +8,7 @@ one simulated superstep.  They are the numbers to watch when optimizing.
 
 import numpy as np
 
-from repro.core import GDConfig, QuadraticRelaxation, gd_bisect
+from repro.core import GDConfig, QuadraticRelaxation, gd_bisect, recursive_bisection
 from repro.core.projection import ExactProjector, FeasibleRegion, make_projector
 from repro.distributed import BSPEngine, PageRank
 from repro.graphs import livejournal_like, standard_weights
@@ -18,6 +18,14 @@ from repro.partition import Partition
 GRAPH = livejournal_like(scale=1.0, seed=0)
 WEIGHTS = standard_weights(GRAPH, 2)
 REGION = FeasibleRegion.balanced(WEIGHTS, 0.05)
+
+
+def test_perf_calibration_spmv(benchmark):
+    """Fixed scipy sparse mat-vec used by perf_guard.py to normalize away
+    machine-speed differences between the checked-in baseline and CI."""
+    matrix = GRAPH.adjacency_matrix()
+    x = np.random.default_rng(7).uniform(-1, 1, GRAPH.num_vertices)
+    benchmark(lambda: matrix @ x)
 
 
 def test_perf_gradient_matvec(benchmark):
@@ -41,6 +49,22 @@ def test_perf_oneshot_projection(benchmark):
 def test_perf_gd_bisection_20_iterations(benchmark):
     config = GDConfig(iterations=20, seed=0)
     benchmark.pedantic(lambda: gd_bisect(GRAPH, WEIGHTS, 0.05, config),
+                       rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_perf_subgraph_extraction(benchmark):
+    """Induced-subgraph extraction — the per-task setup cost of the parallel
+    recursive-bisection scheduler."""
+    rng = np.random.default_rng(3)
+    half = rng.permutation(GRAPH.num_vertices)[:GRAPH.num_vertices // 2]
+    benchmark(lambda: GRAPH.subgraph(half))
+
+
+def test_perf_recursive_bisection_k8_serial(benchmark):
+    """End-to-end k=8 partitioning through the frontier scheduler (serial
+    backend) — the reference number for the parallel speedup figures."""
+    config = GDConfig(iterations=10, seed=0)
+    benchmark.pedantic(lambda: recursive_bisection(GRAPH, WEIGHTS, 8, 0.05, config),
                        rounds=3, iterations=1, warmup_rounds=0)
 
 

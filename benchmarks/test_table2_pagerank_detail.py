@@ -7,7 +7,12 @@ tails); vertex-edge has the smallest max/mean gap and standard deviation.
 
 from repro.experiments import table2_pagerank_detail
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_table2_pagerank_detail(benchmark):

@@ -6,7 +6,12 @@ balanced while GD stays within ~1%, with competitive locality.
 
 from repro.experiments import table3_gd_vs_metis
 
+import pytest
+
 from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
 
 
 def test_table3_gd_vs_metis(benchmark):

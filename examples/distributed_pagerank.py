@@ -19,7 +19,6 @@ from repro.core import GDConfig, GDPartitioner
 from repro.distributed import GiraphCluster, PageRank
 from repro.graphs import fb_like, standard_weights
 from repro.graphs.weights import degree_weights, unit_weights
-from repro.partition import edge_locality
 
 
 def build_placements(graph, num_workers: int):

@@ -34,7 +34,7 @@ from .baselines import (
     SocialHashPartitioner,
     SpinnerPartitioner,
 )
-from .core import GDConfig, GDPartitioner
+from .core import GDConfig, GDPartitioner, PARALLELISM_MODES
 from .graphs import load_dataset, read_edge_list, read_partition, weight_matrix, \
     write_edge_list, write_partition
 from .graphs.weights import WEIGHT_FUNCTIONS
@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="GD iterations")
     partition.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="gd",
                            help="partitioning algorithm")
+    partition.add_argument("--parallelism", choices=PARALLELISM_MODES, default="serial",
+                           help="execution backend for recursive k-way GD "
+                                "(bit-identical output across backends for a fixed seed)")
+    partition.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker count for --parallelism thread/process "
+                                "(default: let the pool decide)")
     partition.add_argument("--seed", type=int, default=0)
     partition.add_argument("--output", help="write one part id per line to this file")
 
@@ -104,7 +110,8 @@ def _run_partition(args: argparse.Namespace) -> int:
     if args.algorithm == "gd":
         partitioner = GDPartitioner(
             epsilon=args.epsilon,
-            config=GDConfig(iterations=args.iterations, seed=args.seed))
+            config=GDConfig(iterations=args.iterations, seed=args.seed,
+                            parallelism=args.parallelism, max_workers=args.workers))
     else:
         partitioner = _ALGORITHMS[args.algorithm](seed=args.seed) \
             if args.algorithm != "hash" else HashPartitioner(salt=args.seed)

@@ -1,6 +1,7 @@
 """The paper's primary contribution: projected-gradient-descent partitioning."""
 
-from .config import GDConfig
+from .config import GDConfig, PARALLELISM_MODES
+from .executor import BisectionExecutor, task_seed
 from .relaxation import QuadraticRelaxation
 from .noise import NoiseSchedule
 from .step import StepSizeController, target_step_length
@@ -19,6 +20,9 @@ from .projection import (
 
 __all__ = [
     "GDConfig",
+    "PARALLELISM_MODES",
+    "BisectionExecutor",
+    "task_seed",
     "QuadraticRelaxation",
     "NoiseSchedule",
     "StepSizeController",

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-__all__ = ["GDConfig"]
+__all__ = ["GDConfig", "PARALLELISM_MODES", "PROJECTION_METHODS"]
 
 #: Projection methods accepted by :class:`GDConfig.projection`.
 PROJECTION_METHODS = (
@@ -12,6 +12,13 @@ PROJECTION_METHODS = (
     "alternating",
     "alternating_oneshot",
     "dykstra",
+)
+
+#: Execution backends accepted by :class:`GDConfig.parallelism`.
+PARALLELISM_MODES = (
+    "serial",
+    "thread",
+    "process",
 )
 
 
@@ -66,6 +73,18 @@ class GDConfig:
         convergence figures 8--10 and 15--17).
     seed:
         Seed of the random number generator (noise and rounding).
+    parallelism:
+        Execution backend used by :func:`repro.core.recursive_bisection` to
+        run independent sub-bisections of the recursion tree: ``"serial"``
+        (in-process, the default), ``"thread"`` (a
+        :class:`~concurrent.futures.ThreadPoolExecutor`; the numpy/scipy
+        kernels release the GIL), or ``"process"`` (a
+        :class:`~concurrent.futures.ProcessPoolExecutor`).  All backends
+        produce bit-identical partitions for a fixed ``seed``.
+    max_workers:
+        Worker count for the thread/process backends; ``None`` lets
+        :mod:`concurrent.futures` pick a machine-dependent default.
+        Ignored when ``parallelism == "serial"``.
     """
 
     iterations: int = 100
@@ -82,6 +101,8 @@ class GDConfig:
     balance_repair: bool = True
     record_history: bool = False
     seed: int = 0
+    parallelism: str = "serial"
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -99,6 +120,11 @@ class GDConfig:
             raise ValueError("projection_epsilon must be positive when given")
         if self.final_projection_rounds < 0:
             raise ValueError("final_projection_rounds must be non-negative")
+        if self.parallelism not in PARALLELISM_MODES:
+            raise ValueError(f"parallelism must be one of {PARALLELISM_MODES}, "
+                             f"got {self.parallelism!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1 when given")
 
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""

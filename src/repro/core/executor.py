@@ -1,0 +1,131 @@
+"""Execution backends for the recursive-bisection scheduler.
+
+The ``⌈log₂ k⌉``-level recursion tree of :func:`repro.core.recursive_bisection`
+contains, at every level, a frontier of bisection subproblems that touch
+disjoint vertex sets and are therefore fully independent.
+:class:`BisectionExecutor` is the small abstraction that runs one such
+frontier: serially, on a thread pool (the numpy/scipy kernels inside GD
+release the GIL during mat-vecs and sorts, so threads already overlap), or
+on a process pool for full CPU parallelism.
+
+Two properties the scheduler relies on:
+
+* **Order preservation** — :meth:`BisectionExecutor.map` returns results in
+  task-submission order regardless of completion order, so the caller can
+  zip results back onto its task list.
+* **Determinism** — the executor never injects randomness; combined with
+  per-task seeds derived from the task's *position in the recursion tree*
+  (see :func:`task_seed`), every backend produces bit-identical partitions
+  for a fixed :attr:`GDConfig.seed`.
+
+The process backend pickles each task's induced subgraph and weight slice to
+the workers.  Worker processes must be able to import :mod:`repro`; when the
+multiprocessing start method is ``spawn`` (the default on macOS/Windows) this
+means ``src`` has to be on ``PYTHONPATH`` — on Linux the default ``fork``
+start method inherits the parent's ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from .config import PARALLELISM_MODES
+
+__all__ = ["BisectionExecutor", "task_seed", "resolve_parallelism"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def task_seed(base_seed: int, depth: int, first_part: int) -> int:
+    """Deterministic RNG seed for the subproblem at ``(depth, first_part)``.
+
+    A recursion-tree node is uniquely identified by its level ``depth`` and
+    the index ``first_part`` of the first bucket it is responsible for.
+    Keying a :class:`numpy.random.SeedSequence` on that coordinate (via its
+    ``spawn_key`` mechanism — the same device :meth:`SeedSequence.spawn`
+    uses internally) yields streams that are
+
+    * statistically independent across sibling subproblems, and
+    * a pure function of the task's identity, never of scheduling order —
+      which is what makes serial, thread and process execution agree bit
+      for bit.
+    """
+    sequence = np.random.SeedSequence(base_seed, spawn_key=(depth, first_part))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def resolve_parallelism(parallelism: str) -> str:
+    """Validate a parallelism mode string and return it."""
+    if parallelism not in PARALLELISM_MODES:
+        raise ValueError(f"parallelism must be one of {PARALLELISM_MODES}, "
+                         f"got {parallelism!r}")
+    return parallelism
+
+
+class BisectionExecutor:
+    """Runs batches of independent bisection tasks on a chosen backend.
+
+    Parameters
+    ----------
+    parallelism:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    max_workers:
+        Pool size for the non-serial backends; ``None`` uses the
+        :mod:`concurrent.futures` default.
+
+    Usable as a context manager; the underlying pool (if any) is created
+    lazily on the first :meth:`map` call and shut down on exit, so the pool
+    is reused across the recursion levels of one ``recursive_bisection``
+    call instead of being respawned per level.
+    """
+
+    def __init__(self, parallelism: str = "serial", max_workers: int | None = None):
+        self.parallelism = resolve_parallelism(parallelism)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1 when given")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "BisectionExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Shut down the worker pool (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
+        if self._pool is None:
+            if self.parallelism == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def map(self, function: Callable[[_T], _R], tasks: Sequence[_T] | Iterable[_T]) -> list[_R]:
+        """Apply ``function`` to every task, returning results in task order.
+
+        With a single task (the root of the recursion tree, typically the
+        most expensive bisection of the whole run) the pool is bypassed to
+        avoid pickling the largest subgraph for no concurrency gain.
+        """
+        tasks = list(tasks)
+        if self.parallelism == "serial" or len(tasks) <= 1:
+            return [function(task) for task in tasks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(function, task) for task in tasks]
+        return [future.result() for future in futures]

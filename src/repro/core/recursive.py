@@ -1,4 +1,4 @@
-"""Recursive bisection into ``k`` parts (§3.3).
+"""Recursive bisection into ``k`` parts (§3.3), scheduled as a task frontier.
 
 The paper partitions into ``k > 2`` buckets by running GD recursively
 ``⌈log₂ k⌉`` times: each level splits a vertex set into two groups that
@@ -9,11 +9,36 @@ arbitrary ``k`` is supported, not only powers of two.
 
 The imbalance budget is split across the recursion levels so that the final
 partition meets the user-requested ``ε``.
+
+Scheduling
+----------
+Instead of depth-first recursion, the recursion tree is processed as a
+*frontier* of tasks, one wave per level.  All subproblems in a wave touch
+disjoint vertex sets, so they are dispatched concurrently through
+:class:`~repro.core.executor.BisectionExecutor` — serially, on a thread
+pool, or on a process pool, selected by :attr:`GDConfig.parallelism` and
+:attr:`GDConfig.max_workers`.  Each task extracts its induced subgraph with
+:meth:`Graph.subgraph` in the coordinating process and only ships the
+(remapped) subproblem to the workers.
+
+Deterministic-seeding contract
+------------------------------
+The RNG seed of every subproblem is a pure function of the task's position
+in the recursion tree — ``task_seed(config.seed, depth, first_part)`` keyed
+through :class:`numpy.random.SeedSequence` ``spawn_key`` s — never of
+execution order or of the chosen backend.  Consequently
+``recursive_bisection(graph, w, k, eps, config)`` returns **bit-identical**
+assignments for ``parallelism`` in ``{"serial", "thread", "process"}`` and
+any ``max_workers``, given a fixed ``config.seed``.  Code that changes the
+task identity (the ``(depth, first_part)`` coordinate) changes the sampled
+partitions and must be treated as a behavioural change.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -21,48 +46,95 @@ from ..graphs.graph import Graph
 from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_num_parts, validate_weights
 from .config import GDConfig
+from .executor import BisectionExecutor, task_seed
 from .gd import gd_bisect
 
 __all__ = ["recursive_bisection"]
 
 
-def _split_recursively(graph: Graph, weights: np.ndarray, vertex_ids: np.ndarray,
-                       num_parts: int, first_part: int, epsilon_per_level: float,
-                       config: GDConfig, assignment: np.ndarray, depth: int) -> None:
-    """Assign parts ``first_part .. first_part + num_parts - 1`` to ``vertex_ids``."""
-    if num_parts == 1 or vertex_ids.size == 0:
-        assignment[vertex_ids] = first_part
-        return
+@dataclass(frozen=True)
+class _Task:
+    """One node of the recursion tree: split ``vertex_ids`` into ``num_parts``."""
 
-    left_parts = (num_parts + 1) // 2
-    right_parts = num_parts - left_parts
-    target_fraction = left_parts / num_parts
+    vertex_ids: np.ndarray
+    num_parts: int
+    first_part: int
+    depth: int
 
-    subgraph, mapping = graph.subgraph(vertex_ids)
+
+@dataclass(frozen=True)
+class _Subproblem:
+    """A self-contained bisection shipped to a worker (picklable)."""
+
+    subgraph: Graph
+    weights: np.ndarray
+    epsilon: float
+    config: GDConfig
+    target_fraction: float
+
+
+def _run_subproblem(subproblem: _Subproblem) -> np.ndarray:
+    """Worker entry point: bisect one subproblem, return the local sides.
+
+    Module-level so the process backend can pickle it by reference; only the
+    assignment vector travels back to the coordinator.
+    """
+    result = gd_bisect(subproblem.subgraph, subproblem.weights, subproblem.epsilon,
+                       subproblem.config, target_fraction=subproblem.target_fraction)
+    return result.partition.assignment
+
+
+def _prepare_subproblem(graph: Graph, weights: np.ndarray, task: _Task,
+                        epsilon_per_level: float, config: GDConfig) -> tuple[_Subproblem, np.ndarray]:
+    """Extract the induced subgraph for ``task`` and derive its seeded config."""
+    subgraph, mapping = graph.subgraph(task.vertex_ids)
     sub_weights = weights[:, mapping]
-    # Vary the seed per subproblem so sibling subproblems do not reuse the
-    # same noise/rounding randomness.
-    sub_config = config.with_updates(seed=config.seed + 7919 * depth + first_part,
-                                     record_history=False)
-    result = gd_bisect(subgraph, sub_weights, epsilon_per_level, sub_config,
-                       target_fraction=target_fraction)
+    # Seed by recursion-tree coordinate (see the deterministic-seeding
+    # contract in the module docstring); force workers to run their inner
+    # bisection serially — the frontier is the unit of parallelism.
+    sub_config = config.with_updates(
+        seed=task_seed(config.seed, task.depth, task.first_part),
+        record_history=False, parallelism="serial", max_workers=None)
+    target_fraction = ((task.num_parts + 1) // 2) / task.num_parts
+    return _Subproblem(subgraph=subgraph, weights=sub_weights, epsilon=epsilon_per_level,
+                       config=sub_config, target_fraction=target_fraction), mapping
 
-    local_assignment = result.partition.assignment  # 0 = V1 (left), 1 = V2 (right)
-    left_local = np.flatnonzero(local_assignment == 0)
-    right_local = np.flatnonzero(local_assignment == 1)
-    left_ids = mapping[left_local]
-    right_ids = mapping[right_local]
 
-    _split_recursively(graph, weights, left_ids, left_parts, first_part,
-                       epsilon_per_level, config, assignment, depth + 1)
-    _split_recursively(graph, weights, right_ids, right_parts, first_part + left_parts,
-                       epsilon_per_level, config, assignment, depth + 1)
+def _expand(task: _Task, mapping: np.ndarray, local_assignment: np.ndarray) -> Iterable[_Task]:
+    """Turn a finished bisection into the two child tasks of the next level."""
+    left_parts = (task.num_parts + 1) // 2
+    right_parts = task.num_parts - left_parts
+    left_ids = mapping[np.flatnonzero(local_assignment == 0)]
+    right_ids = mapping[np.flatnonzero(local_assignment == 1)]
+    yield _Task(vertex_ids=left_ids, num_parts=left_parts,
+                first_part=task.first_part, depth=task.depth + 1)
+    yield _Task(vertex_ids=right_ids, num_parts=right_parts,
+                first_part=task.first_part + left_parts, depth=task.depth + 1)
 
 
 def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
-                        epsilon: float = 0.05, config: GDConfig | None = None) -> Partition:
-    """Partition ``graph`` into ``num_parts`` parts by recursive GD bisection."""
+                        epsilon: float = 0.05, config: GDConfig | None = None,
+                        *, parallelism: str | None = None,
+                        max_workers: int | None = None) -> Partition:
+    """Partition ``graph`` into ``num_parts`` parts by recursive GD bisection.
+
+    Parameters
+    ----------
+    graph, weights, num_parts, epsilon:
+        As in :func:`repro.core.gd_bisect`, but for ``num_parts >= 2``.
+    config:
+        Algorithm parameters; defaults to :class:`GDConfig()`.
+    parallelism, max_workers:
+        Optional overrides of the corresponding :class:`GDConfig` fields —
+        convenient when the caller holds a shared config but wants to pick
+        the execution backend per call.  The output is bit-identical across
+        backends for a fixed ``config.seed`` (see the module docstring).
+    """
     config = config if config is not None else GDConfig()
+    if parallelism is not None:
+        config = config.with_updates(parallelism=parallelism)
+    if max_workers is not None:
+        config = config.with_updates(max_workers=max_workers)
     epsilon = validate_epsilon(epsilon)
     num_parts = validate_num_parts(num_parts, graph.num_vertices)
     weights = validate_weights(graph, weights)
@@ -77,7 +149,25 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
     epsilon_per_level = max(epsilon_per_level, 1e-4)
 
     assignment = np.zeros(graph.num_vertices, dtype=np.int64)
-    all_vertices = np.arange(graph.num_vertices)
-    _split_recursively(graph, weights, all_vertices, num_parts, 0,
-                       epsilon_per_level, config, assignment, depth=0)
+    frontier = [_Task(vertex_ids=np.arange(graph.num_vertices), num_parts=num_parts,
+                      first_part=0, depth=0)]
+
+    with BisectionExecutor(config.parallelism, config.max_workers) as executor:
+        while frontier:
+            pending: list[_Task] = []
+            for task in frontier:
+                if task.num_parts == 1 or task.vertex_ids.size == 0:
+                    assignment[task.vertex_ids] = task.first_part
+                else:
+                    pending.append(task)
+
+            prepared = [_prepare_subproblem(graph, weights, task, epsilon_per_level, config)
+                        for task in pending]
+            local_assignments = executor.map(_run_subproblem,
+                                             [subproblem for subproblem, _ in prepared])
+
+            frontier = [child
+                        for task, (_, mapping), local in zip(pending, prepared, local_assignments)
+                        for child in _expand(task, mapping, local)]
+
     return Partition(graph=graph, assignment=assignment, num_parts=num_parts)

@@ -107,12 +107,15 @@ def make_gd(epsilon: float = 0.05, iterations: int = 60, seed: int = 0,
 
 def partition_by_mode(graph: Graph, mode: str, num_parts: int,
                       epsilon: float = 0.05, iterations: int = 60,
-                      seed: int = 0) -> Partition:
+                      seed: int = 0, parallelism: str = "serial",
+                      max_workers: int | None = None) -> Partition:
     """Partition with GD balancing the dimensions selected by ``mode``.
 
     ``"vertex"`` balances vertex counts only, ``"edge"`` balances edge
     (degree) counts only, and ``"vertex-edge"`` balances both — the three
-    strategies compared in Figures 1 and 7.
+    strategies compared in Figures 1 and 7.  ``parallelism`` /
+    ``max_workers`` pick the recursive-bisection execution backend; the
+    produced partition is bit-identical across backends for a fixed seed.
     """
     if mode == "vertex":
         weights = unit_weights(graph)[None, :]
@@ -123,7 +126,8 @@ def partition_by_mode(graph: Graph, mode: str, num_parts: int,
     else:
         raise ValueError(f"unknown partitioning mode {mode!r}; "
                          f"available: {PARTITIONING_MODES}")
-    partitioner = make_gd(epsilon=epsilon, iterations=iterations, seed=seed)
+    partitioner = make_gd(epsilon=epsilon, iterations=iterations, seed=seed,
+                          parallelism=parallelism, max_workers=max_workers)
     return partitioner.partition(graph, weights, num_parts)
 
 

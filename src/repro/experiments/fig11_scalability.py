@@ -6,19 +6,31 @@ number of edges.  We reproduce the property on a single machine: wall-clock
 time of one GD bisection as a function of |E| over a sweep of generated
 graphs, together with the coefficient of determination of a linear fit
 through the origin.
+
+Besides the cost-model-style sweep (:func:`run`), :func:`run_parallel`
+measures the *actual* wall-clock behaviour of the parallel recursive
+bisection scheduler: one k-way partitioning per worker count, each checked
+bit for bit against the serial reference (the deterministic-seeding
+contract of :mod:`repro.core.recursive`).
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 
-from ..core import GDConfig, gd_bisect
+from ..core import GDConfig, gd_bisect, recursive_bisection
 from ..graphs import fb_like, standard_weights
 from .reporting import format_table
 
-__all__ = ["run", "format_result", "linear_fit_r_squared"]
+__all__ = ["run", "run_parallel", "format_result", "format_parallel_result",
+           "linear_fit_r_squared"]
 
 DEFAULT_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
 
 
 def linear_fit_r_squared(edge_counts: np.ndarray, times: np.ndarray) -> float:
@@ -59,6 +71,52 @@ def run(scales: tuple[float, ...] = DEFAULT_SCALES, seed: int = 0,
     }
 
 
+def run_parallel(scale: float = 4.0, num_parts: int = 8,
+                 worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+                 parallelism: str = "process", seed: int = 0,
+                 iterations: int = 30, epsilon: float = 0.05) -> dict:
+    """Measured-parallel mode: k-way partitioning time vs worker count.
+
+    Runs the serial scheduler once as the reference, then the ``parallelism``
+    backend for every entry of ``worker_counts``, recording wall-clock time,
+    speedup over serial, and whether the assignment matched the serial
+    reference exactly (it must, by the deterministic-seeding contract).
+    Speedups > 1 require actual hardware parallelism — on a single-core
+    machine every backend degrades gracefully to roughly serial time plus
+    pool overhead.
+    """
+    graph = fb_like(80, scale=scale, seed=seed)
+    weights = standard_weights(graph, 2)
+    config = GDConfig(iterations=iterations, seed=seed)
+
+    start = time.perf_counter()
+    reference = recursive_bisection(graph, weights, num_parts, epsilon, config)
+    serial_seconds = time.perf_counter() - start
+
+    rows = [{"backend": "serial", "workers": 1, "seconds": serial_seconds,
+             "speedup": 1.0, "identical": True}]
+    for workers in worker_counts:
+        start = time.perf_counter()
+        partition = recursive_bisection(graph, weights, num_parts, epsilon, config,
+                                        parallelism=parallelism, max_workers=workers)
+        seconds = time.perf_counter() - start
+        rows.append({
+            "backend": parallelism,
+            "workers": workers,
+            "seconds": seconds,
+            "speedup": serial_seconds / max(seconds, 1e-9),
+            "identical": bool(np.array_equal(partition.assignment,
+                                             reference.assignment)),
+        })
+    return {
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_parts": num_parts,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+
+
 def format_result(result: dict) -> str:
     headers = ["scale", "|V|", "|E|", "seconds"]
     table_rows = [[row["scale"], row["num_vertices"], row["num_edges"], row["seconds"]]
@@ -66,3 +124,14 @@ def format_result(result: dict) -> str:
     table = format_table(headers, table_rows,
                          title="Figure 11: GD runtime vs graph size", precision=3)
     return table + f"\nlinear-fit R^2 = {result['r_squared']:.3f}"
+
+
+def format_parallel_result(result: dict) -> str:
+    headers = ["backend", "workers", "seconds", "speedup", "identical"]
+    table_rows = [[row["backend"], row["workers"], row["seconds"],
+                   row["speedup"], row["identical"]]
+                  for row in result["rows"]]
+    title = (f"Figure 11 (measured): k={result['num_parts']} recursive bisection, "
+             f"|V|={result['num_vertices']} |E|={result['num_edges']}, "
+             f"{result['cpu_count']} CPU(s)")
+    return format_table(headers, table_rows, title=title, precision=3)

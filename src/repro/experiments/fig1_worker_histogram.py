@@ -14,8 +14,6 @@ of local (uncut) edges.  The qualitative findings to reproduce:
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..distributed import GiraphCluster, PageRank
 from ..graphs import fb_like, standard_weights
 from ..partition.metrics import edge_locality, imbalance

@@ -11,6 +11,8 @@ vertex-edge partitioning always improves over Hash (roughly 10--30%).
 
 from __future__ import annotations
 
+import time
+
 from ..distributed import (
     ConnectedComponents,
     GiraphCluster,
@@ -41,18 +43,31 @@ CONFIGURATIONS = (
 
 def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
         applications: tuple[str, ...] = ("PR", "CC", "MF", "HC"),
-        configurations=CONFIGURATIONS) -> list[dict]:
-    """One row per (application, configuration, partitioning mode)."""
+        configurations=CONFIGURATIONS, parallelism: str = "serial",
+        max_workers: int | None = None) -> list[dict]:
+    """One row per (application, configuration, partitioning mode).
+
+    The job speedups come from the simulated cluster's cost model; next to
+    them every row carries ``partition_seconds`` — the *measured* wall-clock
+    time GD spent producing that placement.  ``parallelism`` /
+    ``max_workers`` select the recursive-bisection backend, so the measured
+    column doubles as the experiment's parallel mode (the placements, and
+    hence the cost-model numbers, are backend-independent by the
+    deterministic-seeding contract).
+    """
     rows: list[dict] = []
     for label, fb_billions, num_workers in configurations:
         graph = fb_like(fb_billions, scale=scale, seed=seed)
         cluster = GiraphCluster(num_workers=num_workers)
         baseline_placement = hash_placement(graph, num_workers, seed=seed)
-        placements = {
-            mode: partition_by_mode(graph, mode, num_workers,
-                                    iterations=gd_iterations, seed=seed)
-            for mode in PARTITIONING_MODES
-        }
+        placements: dict[str, object] = {}
+        partition_seconds: dict[str, float] = {}
+        for mode in PARTITIONING_MODES:
+            start = time.perf_counter()
+            placements[mode] = partition_by_mode(
+                graph, mode, num_workers, iterations=gd_iterations, seed=seed,
+                parallelism=parallelism, max_workers=max_workers)
+            partition_seconds[mode] = time.perf_counter() - start
         for app_name in applications:
             program = APPLICATIONS[app_name]()
             baseline = cluster.run_job(graph, baseline_placement, program,
@@ -68,14 +83,17 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
                     "runtime": report.total_runtime,
                     "hash_runtime": baseline.total_runtime,
                     "edge_locality_pct": report.edge_locality_pct,
+                    "partition_seconds": partition_seconds[mode],
                 })
     return rows
 
 
 def format_result(rows: list[dict]) -> str:
-    headers = ["app", "config", "workers", "mode", "speedup_%", "locality_%"]
+    headers = ["app", "config", "workers", "mode", "speedup_%", "locality_%",
+               "partition_s"]
     table_rows = [[row["application"], row["configuration"], row["num_workers"],
-                   row["mode"], row["speedup_pct"], row["edge_locality_pct"]]
+                   row["mode"], row["speedup_pct"], row["edge_locality_pct"],
+                   row.get("partition_seconds", float("nan"))]
                   for row in rows]
     return format_table(headers, table_rows,
                         title="Figure 7: speedup over Hash partitioning "

@@ -146,10 +146,16 @@ class Graph:
     # Derived graphs
     # ------------------------------------------------------------------ #
     def subgraph(self, vertices: np.ndarray | Sequence[int]) -> tuple["Graph", np.ndarray]:
-        """Induced subgraph on ``vertices``.
+        """Induced subgraph on ``vertices``, as a remapped CSR graph.
 
         Returns the subgraph and an array mapping new vertex ids to the
-        original ids (``original_id = mapping[new_id]``).
+        original ids (``original_id = mapping[new_id]``).  The mapping is
+        sorted ascending, so the relabelling is monotone: the stored edges
+        are already canonical (unique, ``u < v``) and remain so after
+        remapping, which lets the CSR structure be rebuilt directly without
+        re-deduplicating.  This is the hot path of the parallel recursive
+        bisection scheduler, which extracts one induced subgraph per node of
+        the recursion tree.
         """
         vertex_ids = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertex_ids.size and (vertex_ids[0] < 0 or vertex_ids[-1] >= self.num_vertices):
@@ -163,7 +169,10 @@ class Graph:
             sub_edges = np.column_stack([src_new[keep], dst_new[keep]])
         else:
             sub_edges = np.empty((0, 2), dtype=np.int64)
-        return Graph.from_edges(vertex_ids.size, sub_edges), vertex_ids
+        indptr, indices = self._build_csr(vertex_ids.size, sub_edges)
+        sub = Graph(num_vertices=int(vertex_ids.size), edges=sub_edges,
+                    indptr=indptr, indices=indices)
+        return sub, vertex_ids
 
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` (for interop and testing)."""

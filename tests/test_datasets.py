@@ -8,7 +8,6 @@ import pytest
 from repro.graphs import (
     DATASETS,
     fb_like,
-    friendster_like,
     livejournal_like,
     load_dataset,
     orkut_like,

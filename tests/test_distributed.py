@@ -17,7 +17,7 @@ from repro.distributed import (
     PageRank,
     SuperstepStats,
 )
-from repro.graphs import Graph, standard_weights, unit_weights
+from repro.graphs import standard_weights
 from repro.partition import Partition
 
 

@@ -1,0 +1,165 @@
+"""Tests of the parallel recursive-bisection executor subsystem.
+
+The load-bearing property is the deterministic-seeding contract of
+``repro.core.recursive``: for a fixed ``GDConfig.seed`` the serial, thread
+and process backends must produce *bit-identical* assignments, because
+every subproblem's RNG seed is a pure function of its recursion-tree
+coordinate, never of scheduling order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BisectionExecutor, GDConfig, GDPartitioner, recursive_bisection, task_seed
+from repro.graphs import Graph, fb_like, standard_weights
+from repro.partition import imbalance
+
+
+# --------------------------------------------------------------------- #
+# BisectionExecutor
+# --------------------------------------------------------------------- #
+def test_executor_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="parallelism"):
+        BisectionExecutor("fork-bomb")
+
+
+def test_executor_rejects_bad_worker_count():
+    with pytest.raises(ValueError, match="max_workers"):
+        BisectionExecutor("thread", max_workers=0)
+
+
+@pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+def test_executor_map_preserves_task_order(parallelism):
+    with BisectionExecutor(parallelism, max_workers=2) as executor:
+        results = executor.map(_square, list(range(20)))
+    assert results == [i * i for i in range(20)]
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def test_executor_single_task_bypasses_pool():
+    executor = BisectionExecutor("process", max_workers=2)
+    assert executor.map(_square, [3]) == [9]
+    # No pool should have been spun up for a single task.
+    assert executor._pool is None
+    executor.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Deterministic per-task seeding
+# --------------------------------------------------------------------- #
+def test_task_seed_is_deterministic_and_distinct():
+    assert task_seed(0, 1, 2) == task_seed(0, 1, 2)
+    coordinates = [(depth, part) for depth in range(4) for part in range(8)]
+    seeds = {task_seed(42, depth, part) for depth, part in coordinates}
+    assert len(seeds) == len(coordinates)
+    assert task_seed(0, 1, 2) != task_seed(1, 1, 2)
+
+
+# --------------------------------------------------------------------- #
+# Graph.subgraph remapping invariants
+# --------------------------------------------------------------------- #
+def test_subgraph_preserves_edges_and_weights_under_remapping(social_graph):
+    rng = np.random.default_rng(5)
+    weights = standard_weights(social_graph, 2)
+    chosen = np.sort(rng.permutation(social_graph.num_vertices)[:170])
+
+    subgraph, mapping = social_graph.subgraph(chosen)
+    assert np.array_equal(mapping, chosen)
+    assert subgraph.num_vertices == chosen.size
+
+    # Every induced edge survives with both endpoints remapped consistently,
+    # and no edge crosses out of the chosen set.
+    original_edges = {(int(u), int(v)) for u, v in social_graph.edges
+                      if u in set(chosen.tolist()) and v in set(chosen.tolist())}
+    remapped = {(int(mapping[u]), int(mapping[v])) for u, v in subgraph.edges}
+    assert remapped == original_edges
+
+    # CSR stays canonical: unique edges with u < v, symmetric adjacency.
+    assert np.all(subgraph.edges[:, 0] < subgraph.edges[:, 1])
+    adjacency = subgraph.adjacency_matrix()
+    assert (adjacency != adjacency.T).nnz == 0
+
+    # Weight columns follow the vertex relabelling.
+    sub_weights = weights[:, mapping]
+    for new_id, original_id in enumerate(mapping):
+        assert np.array_equal(sub_weights[:, new_id], weights[:, original_id])
+
+
+def test_subgraph_degrees_match_brute_force(small_grid):
+    chosen = np.arange(0, small_grid.num_vertices, 2)
+    subgraph, mapping = small_grid.subgraph(chosen)
+    chosen_set = set(chosen.tolist())
+    for new_id, original_id in enumerate(mapping):
+        expected = [v for v in small_grid.neighbors(original_id) if int(v) in chosen_set]
+        assert subgraph.degree(new_id) == len(expected)
+
+
+def test_subgraph_of_empty_selection():
+    graph = Graph.from_edges(5, [(0, 1), (1, 2)])
+    subgraph, mapping = graph.subgraph([])
+    assert subgraph.num_vertices == 0
+    assert subgraph.num_edges == 0
+    assert mapping.size == 0
+
+
+# --------------------------------------------------------------------- #
+# Backend equivalence on the full k-way pipeline
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("num_parts", [4, 5])
+def test_backends_produce_identical_partitions(social_graph, social_weights, num_parts):
+    config = GDConfig(iterations=15, seed=11)
+    reference = recursive_bisection(social_graph, social_weights, num_parts, 0.05, config)
+    for parallelism in ("thread", "process"):
+        partition = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
+                                        config, parallelism=parallelism, max_workers=2)
+        assert np.array_equal(partition.assignment, reference.assignment), parallelism
+
+
+def test_config_knobs_equal_keyword_overrides(social_graph, social_weights):
+    config = GDConfig(iterations=12, seed=3, parallelism="thread", max_workers=2)
+    via_config = recursive_bisection(social_graph, social_weights, 4, 0.05, config)
+    via_kwargs = recursive_bisection(social_graph, social_weights, 4, 0.05,
+                                     GDConfig(iterations=12, seed=3),
+                                     parallelism="thread", max_workers=2)
+    assert np.array_equal(via_config.assignment, via_kwargs.assignment)
+
+
+def test_partitioner_accepts_parallelism_overrides(social_graph, social_weights):
+    serial = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=12, seed=9))
+    threaded = GDPartitioner(epsilon=0.05, config=GDConfig(iterations=12, seed=9),
+                             parallelism="thread", max_workers=2)
+    assert threaded.config.parallelism == "thread"
+    assert threaded.config.max_workers == 2
+    a = serial.partition(social_graph, social_weights, 4)
+    b = threaded.partition(social_graph, social_weights, 4)
+    assert np.array_equal(a.assignment, b.assignment)
+
+
+@pytest.mark.parametrize("num_parts", [3, 5, 7])
+def test_odd_k_meets_epsilon_budget_in_parallel_mode(social_graph, social_weights, num_parts):
+    epsilon = 0.05
+    partition = recursive_bisection(social_graph, social_weights, num_parts, epsilon,
+                                    GDConfig(iterations=25, seed=2),
+                                    parallelism="thread", max_workers=2)
+    assert partition.num_parts == num_parts
+    assert set(np.unique(partition.assignment)) == set(range(num_parts))
+    values = imbalance(partition, social_weights)
+    assert np.all(values <= epsilon + 1e-9)
+
+
+@pytest.mark.slow
+def test_process_backend_bit_identical_on_large_graph():
+    """Acceptance-criteria scenario: generator graph with >= 100k edges, k=8."""
+    graph = fb_like(80, scale=4.0, seed=0)
+    assert graph.num_edges >= 100_000
+    weights = standard_weights(graph, 2)
+    config = GDConfig(iterations=30, seed=42)
+    serial = recursive_bisection(graph, weights, 8, 0.05, config)
+    parallel = recursive_bisection(graph, weights, 8, 0.05, config,
+                                   parallelism="process", max_workers=4)
+    assert np.array_equal(serial.assignment, parallel.assignment)

@@ -30,7 +30,6 @@ from repro.experiments import (
 from repro.experiments.common import (
     PARTITIONING_MODES,
     make_baseline,
-    make_gd,
     measure_resources,
     partition_by_mode,
     public_graph,

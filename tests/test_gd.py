@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import GDConfig, GDPartitioner, gd_bisect
-from repro.graphs import Graph, ring_of_cliques, standard_weights, unit_weights
+from repro.graphs import Graph, standard_weights, unit_weights
 from repro.partition import edge_locality, is_epsilon_balanced, max_imbalance
 
 

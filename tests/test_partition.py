@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graphs import Graph, standard_weights
+from repro.graphs import standard_weights
 from repro.partition import Partition
 from repro.partition.validation import (
     validate_epsilon,

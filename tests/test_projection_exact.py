@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.projection import (
-    AlternatingProjector,
     DykstraProjector,
     ExactProjector,
     FeasibleRegion,

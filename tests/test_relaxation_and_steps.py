@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import GDConfig, NoiseSchedule, QuadraticRelaxation, StepSizeController, \
     target_step_length
-from repro.graphs import Graph
 
 
 class TestQuadraticRelaxation:

@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import balance_repair, deterministic_round, randomized_round
-from repro.graphs import Graph, standard_weights, unit_weights
+from repro.graphs import Graph, unit_weights
 from repro.partition import Partition, is_epsilon_balanced
 
 
