@@ -10,7 +10,12 @@ Usage (what ``.github/workflows/ci.yml`` runs)::
 timings, writes them as ``BENCH_ci.json`` (via :func:`_util.save_json`),
 compares every benchmark's median against the checked-in baseline
 (``benchmarks/BENCH_baseline.json``) and exits non-zero if any hot-path
-benchmark regressed more than ``--factor`` (default 2×).
+benchmark regressed more than ``--factor`` (default 2×).  Benchmarks
+present in the run but missing from the baseline are reported as *new*
+(a warning, never a failure) so adding a microbenchmark does not require
+a lockstep baseline edit; baseline entries missing from the run warn the
+same way.  When ``$GITHUB_STEP_SUMMARY`` is set (as in GitHub Actions)
+the full comparison is also written there as a markdown table.
 
 Raw wall-clock numbers are not portable between the machine that produced
 the baseline and the CI runner, so before comparing, baseline medians are
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -59,8 +65,15 @@ def distill(raw_path: Path) -> dict:
     }
 
 
-def compare(current: dict, baseline: dict, factor: float) -> list[str]:
-    """Return one human-readable line per regression (empty = healthy)."""
+def compare(current: dict, baseline: dict,
+            factor: float) -> tuple[list[dict], list[str], str]:
+    """Compare a run against the baseline.
+
+    Returns ``(rows, failures, calibration_note)``: one row dict per
+    benchmark (status ``ok``/``FAIL``/``new``/``missing``) for rendering,
+    one human-readable line per regression (empty = healthy), and the
+    calibration sentence.
+    """
     current_benchmarks = current["benchmarks"]
     baseline_benchmarks = baseline["benchmarks"]
 
@@ -69,34 +82,79 @@ def compare(current: dict, baseline: dict, factor: float) -> list[str]:
             and CALIBRATION_BENCHMARK in baseline_benchmarks):
         calibration = (current_benchmarks[CALIBRATION_BENCHMARK]["median_seconds"]
                        / baseline_benchmarks[CALIBRATION_BENCHMARK]["median_seconds"])
-        print(f"calibration ({CALIBRATION_BENCHMARK}): this machine is "
-              f"{calibration:.2f}x the baseline machine")
+        calibration_note = (f"calibration ({CALIBRATION_BENCHMARK}): this machine is "
+                            f"{calibration:.2f}x the baseline machine")
+        print(calibration_note)
     else:
         # Without calibration the comparison is raw wall-clock across
         # machines, which is exactly what the guard is designed to avoid —
         # make the degraded mode impossible to miss.
-        print(f"warning: {CALIBRATION_BENCHMARK} missing from "
-              f"{'this run' if CALIBRATION_BENCHMARK not in current_benchmarks else 'the baseline'}; "
-              f"comparing UNCALIBRATED wall-clock times", file=sys.stderr)
+        calibration_note = (
+            f"warning: {CALIBRATION_BENCHMARK} missing from "
+            f"{'this run' if CALIBRATION_BENCHMARK not in current_benchmarks else 'the baseline'}; "
+            f"comparing UNCALIBRATED wall-clock times")
+        print(calibration_note, file=sys.stderr)
 
+    rows = []
     failures = []
     for name, stats in sorted(baseline_benchmarks.items()):
         if name == CALIBRATION_BENCHMARK:
             continue
         if name not in current_benchmarks:
             print(f"warning: baseline benchmark {name} missing from this run")
+            rows.append({"name": name, "status": "missing",
+                         "observed": None, "allowed": None})
             continue
         allowed = stats["median_seconds"] * calibration * factor
         observed = current_benchmarks[name]["median_seconds"]
         status = "FAIL" if observed > allowed else "ok"
         print(f"{status:4s} {name}: {observed * 1e3:.3f} ms "
               f"(allowed {allowed * 1e3:.3f} ms)")
+        rows.append({"name": name, "status": status,
+                     "observed": observed, "allowed": allowed})
         if observed > allowed:
             failures.append(f"{name}: {observed * 1e3:.3f} ms > "
                             f"{factor}x calibrated baseline {allowed * 1e3:.3f} ms")
+    # Benchmarks without a baseline entry are *new*: report them (so the
+    # summary shows their first timings) but never fail on them — adding a
+    # microbenchmark must not require a lockstep baseline edit.
     for name in sorted(set(current_benchmarks) - set(baseline_benchmarks)):
-        print(f"note: {name} has no baseline yet (run `perf_guard.py snapshot`)")
-    return failures
+        observed = current_benchmarks[name]["median_seconds"]
+        print(f"new  {name}: {observed * 1e3:.3f} ms "
+              "(no baseline yet; run `perf_guard.py snapshot` to pin it)")
+        rows.append({"name": name, "status": "new",
+                     "observed": observed, "allowed": None})
+    return rows, failures, calibration_note
+
+
+def _markdown_table(rows: list[dict], calibration_note: str, factor: float) -> str:
+    """Render the comparison as a GitHub-flavoured markdown table."""
+
+    def fmt(seconds: float | None) -> str:
+        return "—" if seconds is None else f"{seconds * 1e3:.3f} ms"
+
+    icons = {"ok": "✅ ok", "FAIL": "❌ FAIL", "new": "🆕 new", "missing": "⚠️ missing"}
+    lines = [
+        "## Perf guard",
+        "",
+        calibration_note,
+        "",
+        f"| benchmark | median | allowed ({factor}x calibrated baseline) | status |",
+        "| --- | ---: | ---: | :---: |",
+    ]
+    for row in rows:
+        lines.append(f"| `{row['name']}` | {fmt(row['observed'])} "
+                     f"| {fmt(row['allowed'])} | {icons[row['status']]} |")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(rows: list[dict], calibration_note: str, factor: float) -> None:
+    """Append the markdown comparison to ``$GITHUB_STEP_SUMMARY`` if set."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write(_markdown_table(rows, calibration_note, factor))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -129,7 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
         return 2
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    failures = compare(distilled, baseline, args.factor)
+    rows, failures, calibration_note = compare(distilled, baseline, args.factor)
+    write_step_summary(rows, calibration_note, args.factor)
     if failures:
         print("\nperf regression detected:", file=sys.stderr)
         for line in failures:

@@ -15,6 +15,18 @@ pytestmark = pytest.mark.slow
 
 
 
+def test_fig7_measured_parallel(benchmark):
+    """Measured-parallel fig7 mode: the thread backend must reproduce the
+    serial placements (and hence every cost-model number) bit for bit, per
+    the deterministic-seeding contract; the nightly multi-core CI lane is
+    where its ``partition_seconds`` column shows an actual speedup."""
+    rows_parallel = run_once(benchmark, lambda: fig7_speedup.run(
+        scale=BENCH_SCALE, gd_iterations=30, parallelism="thread", max_workers=4))
+    rows_serial = fig7_speedup.run(scale=BENCH_SCALE, gd_iterations=30)
+    assert [row["speedup_pct"] for row in rows_parallel] \
+        == [row["speedup_pct"] for row in rows_serial]
+
+
 def test_fig7_speedup(benchmark):
     rows = run_once(benchmark, lambda: fig7_speedup.run(
         scale=BENCH_SCALE, gd_iterations=40))

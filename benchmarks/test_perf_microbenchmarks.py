@@ -6,10 +6,17 @@ gradient mat-vec, the projection step, one full GD iteration budget, and
 one simulated superstep.  They are the numbers to watch when optimizing.
 """
 
+import itertools
+
 import numpy as np
 
 from repro.core import GDConfig, QuadraticRelaxation, gd_bisect, recursive_bisection
-from repro.core.projection import ExactProjector, FeasibleRegion, make_projector
+from repro.core.projection import (
+    ExactProjector,
+    FeasibleRegion,
+    ProjectionEngine,
+    make_projector,
+)
 from repro.distributed import BSPEngine, PageRank
 from repro.graphs import livejournal_like, standard_weights
 from repro.partition import Partition
@@ -18,6 +25,97 @@ from repro.partition import Partition
 GRAPH = livejournal_like(scale=1.0, seed=0)
 WEIGHTS = standard_weights(GRAPH, 2)
 REGION = FeasibleRegion.balanced(WEIGHTS, 0.05)
+
+
+def _projection_workload(d: int, count: int = 32):
+    """A GD-like projection workload: region + slowly drifting points.
+
+    The points are biased so the balance bands are genuinely active (as they
+    are during the descent) and drift by a small step per call, matching the
+    warm-start situation of consecutive GD iterations.
+    """
+    rng = np.random.default_rng(40 + d)
+    weights = standard_weights(GRAPH, d)
+    region = FeasibleRegion.balanced(weights, 0.05)
+    n = GRAPH.num_vertices
+    point = rng.normal(size=n) * 0.5 + 0.3
+    points = []
+    for _ in range(count):
+        point = point + rng.normal(size=n) * 0.02
+        points.append(point)
+    return region, points
+
+
+def _bench_projection(benchmark, d: int, cache: bool, rounds: int):
+    region, points = _projection_workload(d)
+    engine = ProjectionEngine("exact", region, cache=cache)
+    if cache:
+        for point in points[:4]:
+            engine.project(point)  # prime caches / warm state
+    cycle = itertools.cycle(points)
+    benchmark.pedantic(lambda: engine.project(next(cycle)),
+                       rounds=rounds, iterations=1, warmup_rounds=1)
+
+
+def test_perf_projection_cold_d1(benchmark):
+    """Cold exact projection (no cache, no warm start), d = 1."""
+    _bench_projection(benchmark, d=1, cache=False, rounds=30)
+
+
+def test_perf_projection_warm_d1(benchmark):
+    """Cached + warm-started exact projection, d = 1."""
+    _bench_projection(benchmark, d=1, cache=True, rounds=60)
+
+
+def test_perf_projection_cold_d2(benchmark):
+    """Cold exact projection, d = 2 — the nested-bisection hot path."""
+    _bench_projection(benchmark, d=2, cache=False, rounds=10)
+
+
+def test_perf_projection_warm_d2(benchmark):
+    """Cached + warm-started exact projection, d = 2.
+
+    The acceptance bar of ISSUE 2: this must run >= 2x faster than
+    test_perf_projection_cold_d2 (see test_projection_warm_speedup)."""
+    _bench_projection(benchmark, d=2, cache=True, rounds=60)
+
+
+def test_perf_projection_cold_d3(benchmark):
+    """Cold exact projection, d = 3 — doubly nested bisection."""
+    _bench_projection(benchmark, d=3, cache=False, rounds=3)
+
+
+def test_perf_projection_warm_d3(benchmark):
+    """Cached + warm-started exact projection, d = 3."""
+    _bench_projection(benchmark, d=3, cache=True, rounds=60)
+
+
+def test_projection_warm_speedup():
+    """Direct enforcement of the >= 2x warm-over-cold bar on the d = 2 graph.
+
+    Timed inline (not via pytest-benchmark) so the two paths can be compared
+    within one test; the observed ratio is ~2 orders of magnitude, so the 2x
+    bar has a wide safety margin against CI noise.
+    """
+    import time
+
+    region, points = _projection_workload(2)
+    timings = {}
+    results = {}
+    for label, cache in (("warm", True), ("cold", False)):
+        engine = ProjectionEngine("exact", region, cache=cache)
+        for point in points[:4]:
+            engine.project(point)
+        start = time.perf_counter()
+        results[label] = [engine.project(point) for point in points[4:]]
+        timings[label] = time.perf_counter() - start
+    # Identical outputs (the warm start changes the path, not the answer) ...
+    for warm_x, cold_x in zip(results["warm"], results["cold"]):
+        np.testing.assert_array_equal(warm_x, cold_x)
+    # ... at least twice as fast.
+    assert timings["warm"] * 2.0 <= timings["cold"], (
+        f"warm projection not >= 2x faster: warm={timings['warm']:.4f}s "
+        f"cold={timings['cold']:.4f}s")
 
 
 def test_perf_calibration_spmv(benchmark):

@@ -34,7 +34,7 @@ from .baselines import (
     SocialHashPartitioner,
     SpinnerPartitioner,
 )
-from .core import GDConfig, GDPartitioner, PARALLELISM_MODES
+from .core import GDConfig, GDPartitioner, PARALLELISM_MODES, PROJECTION_METHODS
 from .graphs import load_dataset, read_edge_list, read_partition, weight_matrix, \
     write_edge_list, write_partition
 from .graphs.weights import WEIGHT_FUNCTIONS
@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="GD iterations")
     partition.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="gd",
                            help="partitioning algorithm")
+    partition.add_argument("--projection", choices=PROJECTION_METHODS,
+                           default="alternating_oneshot",
+                           help="projection method of the GD inner loop (Table 1)")
+    partition.add_argument("--projection-cache", action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="drive projections through the cache-and-warm-start "
+                                "engine (--no-projection-cache cold-starts every "
+                                "projection, for A/B benchmarking; partitions are "
+                                "bit-identical either way for the alternating/exact "
+                                "methods, and agree to solver tolerance for dykstra)")
     partition.add_argument("--parallelism", choices=PARALLELISM_MODES, default="serial",
                            help="execution backend for recursive k-way GD "
                                 "(bit-identical output across backends for a fixed seed)")
@@ -111,6 +121,8 @@ def _run_partition(args: argparse.Namespace) -> int:
         partitioner = GDPartitioner(
             epsilon=args.epsilon,
             config=GDConfig(iterations=args.iterations, seed=args.seed,
+                            projection=args.projection,
+                            projection_cache=args.projection_cache,
                             parallelism=args.parallelism, max_workers=args.workers))
     else:
         partitioner = _ALGORITHMS[args.algorithm](seed=args.seed) \

@@ -1,6 +1,6 @@
 """The paper's primary contribution: projected-gradient-descent partitioning."""
 
-from .config import GDConfig, PARALLELISM_MODES
+from .config import GDConfig, PARALLELISM_MODES, PROJECTION_METHODS
 from .executor import BisectionExecutor, task_seed
 from .relaxation import QuadraticRelaxation
 from .noise import NoiseSchedule
@@ -14,13 +14,17 @@ from .projection import (
     DykstraProjector,
     ExactProjector,
     FeasibleRegion,
+    ProjectionEngine,
+    ProjectionStats,
     Projector,
+    RegionCache,
     make_projector,
 )
 
 __all__ = [
     "GDConfig",
     "PARALLELISM_MODES",
+    "PROJECTION_METHODS",
     "BisectionExecutor",
     "task_seed",
     "QuadraticRelaxation",
@@ -42,6 +46,9 @@ __all__ = [
     "DykstraProjector",
     "ExactProjector",
     "FeasibleRegion",
+    "ProjectionEngine",
+    "ProjectionStats",
     "Projector",
+    "RegionCache",
     "make_projector",
 ]

@@ -56,6 +56,18 @@ class GDConfig:
         algorithm more freedom (Figure 10); the final solution is still
         repaired to the user-requested ``epsilon``.  ``None`` means "use the
         user-requested epsilon".
+    projection_cache:
+        Drive the projection step through the cache-and-warm-start
+        :class:`~repro.core.projection.ProjectionEngine` (the default).
+        The engine precomputes the per-region weight invariants once per
+        bisection and warm-starts the exact active-set loop / Dykstra's
+        correction vectors from the previous iteration's solution.  When
+        False every projection is a cold start, as in the seed
+        implementation — the A/B toggle for benchmarking
+        (``--projection-cache`` / ``--no-projection-cache`` on the CLI).
+        Caching does not change the partitions: outputs are bit-identical
+        for the alternating/exact methods and agree to the solver tolerance
+        (~1e-9) for Dykstra.
     noise_std:
         Standard deviation of the Gaussian noise added at iteration 0;
         ``None`` picks ``1 / sqrt(n)`` which is enough to leave the saddle
@@ -95,6 +107,7 @@ class GDConfig:
     fixing_start_fraction: float = 0.25
     projection: str = "alternating_oneshot"
     projection_epsilon: float | None = None
+    projection_cache: bool = True
     noise_std: float | None = None
     noise_every_iteration: bool = False
     final_projection_rounds: int = 50

@@ -15,6 +15,12 @@ near-integral vertices (they stop participating in the gradient and
 projection), a final convergent projection pass that removes the residual
 imbalance accumulated by one-shot alternating projections, and randomized
 rounding with an optional greedy balance repair.
+
+The projection step — the dominant cost per iteration (Table 1) — is
+served by one :class:`~repro.core.projection.ProjectionEngine` per
+bisection, which caches the region's weight invariants and warm-starts
+each projection from the previous iterate's solution (disable via
+``GDConfig.projection_cache`` for A/B comparisons).
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_weights
 from .config import GDConfig
 from .noise import NoiseSchedule
-from .projection import AlternatingProjector, FeasibleRegion, make_projector
+from .projection import (
+    AlternatingProjector,
+    FeasibleRegion,
+    ProjectionEngine,
+    ProjectionStats,
+)
 from .relaxation import QuadraticRelaxation
 from .rounding import balance_repair, deterministic_round, randomized_round
 from .step import StepSizeController, target_step_length
@@ -60,6 +71,7 @@ class BisectionResult:
     epsilon: float
     config: GDConfig
     elapsed_seconds: float
+    projection_stats: ProjectionStats | None = field(default=None, repr=False)
 
 
 def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRelaxation,
@@ -137,7 +149,12 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
     x = np.zeros(n)
     fixed = np.zeros(n, dtype=bool)
     fixing_start = int(config.fixing_start_fraction * config.iterations)
-    projector = make_projector(config.projection, region)
+    # One engine per bisection: the feasible region (and hence every cached
+    # weight invariant) is constant across iterations, and consecutive
+    # iterates warm-start each other's projections.  Worker processes of the
+    # parallel recursive scheduler each run their own gd_bisect and hence
+    # build their own engine — no cache state crosses the pickle boundary.
+    engine = ProjectionEngine(config.projection, region, cache=config.projection_cache)
 
     for iteration in range(config.iterations):
         free = ~fixed
@@ -150,12 +167,10 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
         y[fixed] = x[fixed]
 
         if fixed.any():
-            sub_region = region.restrict(free, x[fixed])
-            sub_projector = make_projector(config.projection, sub_region)
             new_x = x.copy()
-            new_x[free] = sub_projector.project(y[free])
+            new_x[free] = engine.project_restricted(y[free], free, x[fixed])
         else:
-            new_x = projector.project(y)
+            new_x = engine.project(y)
 
         realized = float(np.linalg.norm(new_x - x))
         controller.update(realized)
@@ -198,6 +213,7 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
         epsilon=epsilon,
         config=config,
         elapsed_seconds=time.perf_counter() - start_time,
+        projection_stats=engine.stats,
     )
 
 

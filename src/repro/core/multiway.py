@@ -60,18 +60,30 @@ def project_rows_to_simplex(matrix: np.ndarray) -> np.ndarray:
     return np.maximum(matrix - theta[:, None], 0.0)
 
 
-def _balance_columns(matrix: np.ndarray, weights: np.ndarray, epsilon: float) -> np.ndarray:
-    """One-shot correction pulling per-bucket weighted sums toward W_j / k."""
+def _balance_columns(matrix: np.ndarray, weights: np.ndarray, epsilon: float,
+                     norms_squared: np.ndarray | None = None,
+                     weight_sums: np.ndarray | None = None) -> np.ndarray:
+    """One-shot correction pulling per-bucket weighted sums toward W_j / k.
+
+    ``norms_squared`` / ``weight_sums`` may supply the per-dimension
+    ``⟨w, w⟩`` and ``Σ w`` — they are invariants of the weight matrix, so
+    :func:`gd_multiway` computes them once instead of on every iteration
+    (the same amortization the projection engine applies to bisections).
+    """
     n, k = matrix.shape
+    if norms_squared is None:
+        norms_squared = np.array([float(w @ w) for w in weights])
+    if weight_sums is None:
+        weight_sums = np.array([float(w.sum()) for w in weights])
     corrected = matrix.copy()
     for j in range(weights.shape[0]):
         w = weights[j]
-        norm_squared = float(w @ w)
+        norm_squared = float(norms_squared[j])
         if norm_squared == 0.0:
             continue
         totals = w @ corrected                      # (k,) weighted mass per bucket
-        target = w.sum() / k
-        slack = epsilon * w.sum()
+        target = weight_sums[j] / k
+        slack = epsilon * weight_sums[j]
         for bucket in range(k):
             excess = totals[bucket] - target
             if abs(excess) <= slack:
@@ -137,11 +149,15 @@ def gd_multiway(graph: Graph, weights: np.ndarray, num_parts: int,
     step_target = target_step_length(n, config.iterations, config.step_length_factor)
     controller = StepSizeController(step_target, adaptive=config.adaptive_step)
 
+    # Weight invariants of the balance sweep, computed once per run.
+    norms_squared = np.array([float(w @ w) for w in weights])
+    weight_sums = np.array([float(w.sum()) for w in weights])
+
     for _ in range(config.iterations):
         gradient = relaxation.adjacency @ matrix          # (n, k), O(k |E|)
         gamma = controller.step_size(gradient.ravel())
         updated = matrix + gamma * gradient
-        updated = _balance_columns(updated, weights, epsilon)
+        updated = _balance_columns(updated, weights, epsilon, norms_squared, weight_sums)
         updated = project_rows_to_simplex(updated)
         controller.update(float(np.linalg.norm(updated - matrix)))
         matrix = updated

@@ -14,6 +14,11 @@ variants:
 As in the paper, projecting onto the *center* of each slab (``S^j_0``,
 i.e. the hyperplane through the balance target) rather than onto the slab
 itself gives slightly better final balance and is enabled by default.
+
+An optional :class:`~repro.core.projection.cache.RegionCache` supplies the
+per-dimension ``⟨w, w⟩`` denominators, band centers, and feasibility-check
+scales, which are otherwise recomputed on every sweep; the cached and
+uncached code paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import numpy as np
 
 from .base import FeasibleRegion, Projector
 from .box import project_onto_box
+from .cache import RegionCache
 from .halfspace import project_onto_band, project_onto_hyperplane
 
 __all__ = ["AlternatingProjector"]
@@ -32,30 +38,45 @@ class AlternatingProjector(Projector):
 
     def __init__(self, region: FeasibleRegion, one_shot: bool = True,
                  use_band_center: bool = True, max_rounds: int = 1000,
-                 tolerance: float = 1e-9):
+                 tolerance: float = 1e-9, cache: RegionCache | None = None):
         super().__init__(region)
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
+        if cache is not None and cache.region is not region:
+            raise ValueError("cache was built for a different region")
         self._one_shot = one_shot
         self._use_band_center = use_band_center
         self._max_rounds = max_rounds
         self._tolerance = tolerance
+        self._cache = cache
 
     @property
     def one_shot(self) -> bool:
         return self._one_shot
+
+    def _norm_squared(self, j: int) -> float | None:
+        return self._cache.dimensions[j].norm_squared if self._cache is not None else None
+
+    def _contains(self, x: np.ndarray, tolerance: float) -> bool:
+        if self._cache is not None:
+            return self._cache.contains(x, tolerance)
+        return self.region.contains(x, tolerance)
 
     def _sweep(self, x: np.ndarray) -> np.ndarray:
         region = self.region
         for j in range(region.num_dimensions):
             weights = region.weights[j]
             if self._use_band_center:
-                center = 0.5 * (region.lower[j] + region.upper[j])
-                x = project_onto_hyperplane(x, weights, center)
+                # The vectorized cached centers are elementwise-identical to
+                # the inline scalar expression, so both paths agree bitwise.
+                center = (self._cache.centers[j] if self._cache is not None
+                          else 0.5 * (region.lower[j] + region.upper[j]))
+                x = project_onto_hyperplane(x, weights, center, self._norm_squared(j))
             else:
-                x = project_onto_band(x, weights, region.lower[j], region.upper[j])
+                x = project_onto_band(x, weights, region.lower[j], region.upper[j],
+                                      self._norm_squared(j))
         return project_onto_box(x)
 
     def project(self, point: np.ndarray) -> np.ndarray:
@@ -66,7 +87,7 @@ class AlternatingProjector(Projector):
         if self._one_shot:
             return x
         for _ in range(self._max_rounds - 1):
-            if self.region.contains(x, self._tolerance):
+            if self._contains(x, self._tolerance):
                 break
             x = self._sweep(x)
         return x
@@ -79,12 +100,13 @@ class AlternatingProjector(Projector):
         """
         x = np.asarray(point, dtype=np.float64)
         for _ in range(self._max_rounds):
-            if self.region.contains(x, self._tolerance):
+            if self._contains(x, self._tolerance):
                 return x
             # For feasibility we always project onto the slabs (not their
             # centers): the slab is the actual constraint.
             for j in range(self.region.num_dimensions):
                 x = project_onto_band(x, self.region.weights[j],
-                                      self.region.lower[j], self.region.upper[j])
+                                      self.region.lower[j], self.region.upper[j],
+                                      self._norm_squared(j))
             x = project_onto_box(x)
         return x

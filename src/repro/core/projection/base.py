@@ -85,16 +85,21 @@ class FeasibleRegion:
         band_violation = float(np.maximum(below, above).max(initial=0.0))
         return max(box_violation, band_violation)
 
-    def contains(self, x: np.ndarray, tolerance: float = 1e-7) -> bool:
+    def contains(self, x: np.ndarray, tolerance: float = 1e-7,
+                 *, scale: np.ndarray | None = None) -> bool:
         """Whether ``x`` satisfies every constraint up to ``tolerance``.
 
         The band tolerance is scaled by the weight magnitude so the check is
-        meaningful for weight functions of very different scales.
+        meaningful for weight functions of very different scales.  ``scale``
+        may supply the precomputed per-dimension scale (see
+        :class:`~repro.core.projection.cache.RegionCache`), saving one pass
+        over the weight matrix per call.
         """
         if np.any(np.abs(x) > 1.0 + tolerance):
             return False
         sums = self.weighted_sums(x)
-        scale = np.maximum(np.abs(self.weights).sum(axis=1), 1.0)
+        if scale is None:
+            scale = np.maximum(np.abs(self.weights).sum(axis=1), 1.0)
         below = (self.lower - sums) / scale
         above = (sums - self.upper) / scale
         return bool(np.all(below <= tolerance) and np.all(above <= tolerance))

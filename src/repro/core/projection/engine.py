@@ -1,0 +1,239 @@
+"""Batched projection engine: amortize per-region work across GD iterations.
+
+The projected gradient descent of Algorithm 1 performs one Euclidean
+projection onto ``K = B∞ ∩ ⋂_j S^j`` per iteration, and the feasible
+region is *identical* across all iterations of a bisection (it only
+shrinks when vertices are fixed, which happens a handful of times per
+run).  The seed implementation nevertheless treated every projection as a
+cold start: it re-derived weight sums, norms and tolerance scales, rebuilt
+projector objects for restricted regions, and re-ran the active-set /
+Dykstra loops from scratch.
+
+:class:`ProjectionEngine` is the stateful layer that kills that repeated
+work.  Per region it holds
+
+* a :class:`~repro.core.projection.cache.RegionCache` of the weight-derived
+  invariants (sums, squared norms, elementwise squares, tolerance scales),
+* the projector instance itself, and
+* *warm-start state* from the previous projection: the exact projector's
+  final active set and multipliers, or Dykstra's correction (dual)
+  vectors.
+
+Because consecutive GD iterates are close, the KKT sign pattern is stable
+between calls and most warm-started projections resolve in a single
+O(n) pass (:mod:`~repro.core.projection.warmstart`) instead of an
+O(n log n) sort-and-search — or, for d ≥ 2 cold solves, instead of a full
+nested bisection.
+
+``gd_bisect`` constructs one engine per bisection task.  The engine is a
+plain picklable object, but it is deliberately *not* shipped across the
+:class:`~repro.core.executor.BisectionExecutor` process boundary: each
+worker runs ``gd_bisect`` on its own subproblem and therefore builds its
+own engine locally, so no cache state needs to survive pickling.
+
+Warm starts never change the mathematical result — wrong warm guesses are
+detected and corrected by the same KKT rules as cold starts — and with
+``cache=False`` the engine reproduces the seed behaviour (and bit-identical
+outputs) exactly; the toggle exists for A/B benchmarking via
+``GDConfig.projection_cache`` / the ``--projection-cache`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alternating import AlternatingProjector
+from .base import FeasibleRegion, Projector
+from .cache import RegionCache
+from .dykstra import DykstraProjector
+from .exact import ExactProjector
+
+__all__ = ["ProjectionEngine", "ProjectionStats"]
+
+
+@dataclass
+class ProjectionStats:
+    """Counters of the engine's behaviour (diagnostics and tests).
+
+    Attributes
+    ----------
+    calls:
+        Total projections served.
+    warm_attempts / warm_accepts:
+        Warm-started solves tried / resolved in a single pass.  Only the
+        ``exact`` method attempts one-pass warm solves; for ``dykstra`` the
+        warm start shows up as a lower round count instead.
+    fallbacks:
+        Times the exact projector exhausted its active-set budget and fell
+        back to convergent alternating projections (KKT non-convergence —
+        also logged at warning level by the projector).
+    region_rebuilds:
+        Times the restricted (fixed-vertex) region changed and its cache and
+        warm state had to be rebuilt.
+    dykstra_rounds:
+        Total Dykstra rounds across all calls (warm starts shrink this).
+    """
+
+    calls: int = 0
+    warm_attempts: int = 0
+    warm_accepts: int = 0
+    fallbacks: int = 0
+    region_rebuilds: int = 0
+    dykstra_rounds: int = 0
+
+
+class _RegionState:
+    """Cache + projector + warm-start state for one concrete region."""
+
+    def __init__(self, method: str, region: FeasibleRegion, use_cache: bool):
+        self.region = region
+        self.cache = RegionCache(region) if use_cache else None
+        self.projector = _build_projector(method, region, self.cache)
+        # Warm-start state (only populated when the cache is enabled).
+        self.warm_lambdas: dict[int, float] | None = None
+        self.corrections: list[np.ndarray] | None = None
+
+
+def _build_projector(method: str, region: FeasibleRegion,
+                     cache: RegionCache | None) -> Projector:
+    if method == "exact":
+        return ExactProjector(region, cache=cache)
+    if method == "alternating":
+        return AlternatingProjector(region, one_shot=False, cache=cache)
+    if method == "alternating_oneshot":
+        return AlternatingProjector(region, one_shot=True, cache=cache)
+    if method == "dykstra":
+        return DykstraProjector(region, cache=cache)
+    raise ValueError(f"unknown projection method {method!r}")
+
+
+class ProjectionEngine:
+    """Cache-and-warm-start projection onto one feasible region.
+
+    Parameters
+    ----------
+    method:
+        One of ``"exact"``, ``"alternating"``, ``"alternating_oneshot"``,
+        ``"dykstra"`` (same names as :func:`make_projector`).
+    region:
+        The full feasible region of the bisection.
+    cache:
+        When False the engine degenerates to the seed behaviour — a
+        stateless projector per region, rebuilt per call for restricted
+        regions — producing bit-identical outputs to the cached mode for
+        d ≤ 2 and outputs agreeing to the cold solvers' tolerance beyond.
+    """
+
+    def __init__(self, method: str, region: FeasibleRegion, *, cache: bool = True):
+        self._method = method
+        self._cache_enabled = bool(cache)
+        self._stats = ProjectionStats()
+        self._full = _RegionState(method, region, self._cache_enabled)
+        self._restricted: _RegionState | None = None
+        self._restricted_free: np.ndarray | None = None
+        self._restricted_fixed: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    @property
+    def region(self) -> FeasibleRegion:
+        return self._full.region
+
+    @property
+    def stats(self) -> ProjectionStats:
+        return self._stats
+
+    def reset(self) -> None:
+        """Drop all warm-start state (the caches themselves stay valid)."""
+        for state in (self._full, self._restricted):
+            if state is not None:
+                state.warm_lambdas = None
+                state.corrections = None
+
+    # ------------------------------------------------------------------ #
+    def project(self, point: np.ndarray) -> np.ndarray:
+        """Project onto the full region, warm-starting from the last call."""
+        return self._project_with(self._full, point)
+
+    def project_restricted(self, point: np.ndarray, free: np.ndarray,
+                           fixed_values: np.ndarray) -> np.ndarray:
+        """Project ``point`` (length ``free.sum()``) onto the induced region.
+
+        ``free`` is the global free-vertex mask and ``fixed_values`` the
+        values of the fixed vertices (see :meth:`FeasibleRegion.restrict`).
+        The restricted region's cache is rebuilt only when the mask (or the
+        fixed values) actually change — between fixing events it is reused
+        across iterations, and the warm-start state survives the rebuild:
+        multipliers are per-dimension (unchanged by restriction) and
+        Dykstra corrections are sliced down to the surviving coordinates.
+        """
+        free = np.asarray(free, dtype=bool)
+        fixed_values = np.asarray(fixed_values, dtype=np.float64)
+        if not self._cache_enabled:
+            state = _RegionState(self._method, self.region.restrict(free, fixed_values),
+                                 use_cache=False)
+            return self._project_with(state, point)
+
+        if (self._restricted is None
+                or self._restricted_free is None
+                or not np.array_equal(free, self._restricted_free)
+                or not np.array_equal(fixed_values, self._restricted_fixed)):
+            self._rebuild_restricted(free, fixed_values)
+        return self._project_with(self._restricted, point)
+
+    # ------------------------------------------------------------------ #
+    def _rebuild_restricted(self, free: np.ndarray, fixed_values: np.ndarray) -> None:
+        previous = self._restricted
+        previous_free = self._restricted_free
+        state = _RegionState(self._method, self.region.restrict(free, fixed_values),
+                             use_cache=True)
+        if previous is not None and previous_free is not None:
+            # Multipliers are indexed by balance dimension, which restriction
+            # leaves untouched — carry them over as warm guesses.
+            state.warm_lambdas = previous.warm_lambdas
+            if previous.corrections is not None:
+                # Dykstra corrections are per-coordinate: keep the entries of
+                # vertices that are still free (fixing only shrinks the mask).
+                survivors = free[np.flatnonzero(previous_free)]
+                if int(survivors.sum()) == int(free.sum()):
+                    state.corrections = [c[survivors] for c in previous.corrections]
+        self._restricted = state
+        self._restricted_free = free.copy()
+        self._restricted_fixed = fixed_values.copy()
+        self._stats.region_rebuilds += 1
+
+    def _project_with(self, state: _RegionState, point: np.ndarray) -> np.ndarray:
+        self._stats.calls += 1
+        projector = state.projector
+
+        if isinstance(projector, ExactProjector):
+            warm = state.warm_lambdas if self._cache_enabled else None
+            if warm:
+                self._stats.warm_attempts += 1
+            before_fallbacks = projector.fallback_count
+            x = projector.project(point, warm_lambdas=warm)
+            self._stats.fallbacks += projector.fallback_count - before_fallbacks
+            if projector.last_warm_accepted:
+                self._stats.warm_accepts += 1
+            if self._cache_enabled:
+                state.warm_lambdas = projector.last_lambdas
+            return x
+
+        if isinstance(projector, DykstraProjector):
+            warm = state.corrections if self._cache_enabled else None
+            x = projector.project(point, warm_corrections=warm)
+            self._stats.dykstra_rounds += projector.last_rounds
+            if self._cache_enabled:
+                state.corrections = projector.last_corrections
+            return x
+
+        return projector.project(point)

@@ -6,57 +6,123 @@ equality-constrained sub-problems, one per guess of ``sign(λ_j)``.  Rather
 than enumerating all guesses, this implementation runs the equivalent
 active-set loop:
 
-1. start with no active balance constraints (pure box projection);
+1. start with no active balance constraints (pure box projection) — or,
+   when warm-started, with the previous call's active set;
 2. solve the equality-constrained projection for the current active set
-   (d = 1: exact O(n log n); d ≥ 2: nested binary search / 2-D polish);
-3. drop active constraints whose multiplier has the wrong KKT sign, add
-   inactive constraints that the current point violates;
+   (first trying a one-pass warm solve from the previous multipliers,
+   then d = 1: exact O(n log n); d = 2: nested binary search + 2-D
+   polish; d ≥ 3: nested binary search);
+3. drop the active constraint whose multiplier most violates its KKT sign
+   (one at a time — the classical anti-cycling rule), add inactive
+   constraints that the current point violates;
 4. repeat until the KKT conditions hold.
 
 The loop visits each sign pattern at most once, so it terminates within
 ``3^d`` iterations; a convergent alternating-projection fallback guarantees
-a feasible result even under floating-point edge cases.
+a feasible result even under floating-point edge cases.  Fallback
+engagements are *counted* (:attr:`ExactProjector.fallback_count`) and
+logged at warning level rather than silently masking KKT non-convergence.
 """
 
 from __future__ import annotations
+
+import logging
 
 import numpy as np
 
 from .base import FeasibleRegion, Projector
 from .box import project_onto_box, truncate
+from .cache import RegionCache
 from .exact_1d import solve_lambda_1d
 from .exact_2d import solve_lambda_2d
 from .halfspace import project_onto_band
 from .nested import solve_equality_system
+from .warmstart import try_warm_equality_solve
 
 __all__ = ["ExactProjector"]
+
+logger = logging.getLogger(__name__)
 
 _SIGN_TOLERANCE = 1e-10
 
 
 class ExactProjector(Projector):
-    """Exact Euclidean projection onto the feasible region (Table 1, "Exact")."""
+    """Exact Euclidean projection onto the feasible region (Table 1, "Exact").
 
-    def __init__(self, region: FeasibleRegion, tolerance: float = 1e-9):
+    The projector is stateless with respect to correctness — every call
+    computes the projection of its input from scratch — but it records the
+    final active set and multipliers of the last call
+    (:attr:`last_active`, :attr:`last_lambdas`) so the
+    :class:`~repro.core.projection.engine.ProjectionEngine` can warm-start
+    the next call, and it counts alternating-projection fallbacks
+    (:attr:`fallback_count`).
+
+    ``max_active_set_iterations`` overrides the ``3^d``-derived iteration
+    budget; it exists so tests can deterministically exercise the fallback
+    path.
+    """
+
+    def __init__(self, region: FeasibleRegion, tolerance: float = 1e-9,
+                 cache: RegionCache | None = None,
+                 max_active_set_iterations: int | None = None):
         super().__init__(region)
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
+        if cache is not None and cache.region is not region:
+            raise ValueError("cache was built for a different region")
+        if max_active_set_iterations is not None and max_active_set_iterations < 0:
+            raise ValueError("max_active_set_iterations must be non-negative")
         self._tolerance = tolerance
+        self._cache = cache
+        self._max_iterations = max_active_set_iterations
+        #: Number of calls that exhausted the active-set budget and fell back
+        #: to convergent alternating projections.
+        self.fallback_count = 0
+        #: Final active set of the last call: ``{dimension: "lower"|"upper"}``.
+        self.last_active: dict[int, str] | None = None
+        #: Final multipliers of the last call: ``{dimension: λ}``.
+        self.last_lambdas: dict[int, float] | None = None
+        #: Whether the last call's first equality solve was a warm-start hit.
+        self.last_warm_accepted = False
+        #: Active-set passes used by the last call.
+        self.last_passes = 0
 
     # ------------------------------------------------------------------ #
-    def project(self, point: np.ndarray) -> np.ndarray:
+    def project(self, point: np.ndarray,
+                warm_lambdas: dict[int, float] | None = None) -> np.ndarray:
+        """Project ``point``; ``warm_lambdas`` seeds the active set.
+
+        ``warm_lambdas`` maps dimension index to the multiplier of a nearby
+        instance (sign encodes the side: positive multipliers push the sum
+        down onto the upper bound, negative ones up onto the lower bound).
+        A warm start never changes the result — only the path to it: wrong
+        guesses are corrected by the same KKT add/drop rules as cold starts.
+        """
         point = np.asarray(point, dtype=np.float64)
         region = self.region
         if region.num_vertices != point.shape[0]:
             raise ValueError("point dimension does not match the feasible region")
 
+        self.last_warm_accepted = False
         active: dict[int, str] = {}
+        warm_guess: dict[int, float] | None = None
+        if warm_lambdas:
+            for j, lam in warm_lambdas.items():
+                if 0 <= j < region.num_dimensions:
+                    active[j] = "upper" if lam >= 0.0 else "lower"
+            warm_guess = dict(warm_lambdas)
+
         x = project_onto_box(point)
-        max_iterations = 3 ** region.num_dimensions + region.num_dimensions + 2
-        for _ in range(max_iterations):
+        lambdas = np.empty(0)
+        max_iterations = (self._max_iterations if self._max_iterations is not None
+                          else 3 ** region.num_dimensions + region.num_dimensions + 2)
+        converged = False
+        passes = 0
+        for passes in range(1, max_iterations + 1):
             if active:
-                lambdas, x = self._solve_active(point, active)
-                if self._drop_wrong_signs(active, lambdas):
+                lambdas, x = self._solve_active(point, active, warm_guess)
+                warm_guess = None  # the guess is only meaningful on the first solve
+                if self._drop_wrong_sign(active, lambdas):
                     continue  # re-solve with the reduced active set
             else:
                 x = project_onto_box(point)
@@ -64,17 +130,40 @@ class ExactProjector(Projector):
             # signed multipliers; if no inactive constraint is violated the
             # current point is the projection.
             if not self._update_active_set(x, active):
-                return x
+                converged = True
+                break
+        self.last_passes = passes
+
+        if converged:
+            dims = sorted(active)
+            self.last_active = dict(active)
+            self.last_lambdas = {j: float(lam) for j, lam in zip(dims, lambdas)} \
+                if active else {}
+            return x
 
         # Floating-point fallback: make sure the result is feasible.
+        self.fallback_count += 1
+        self.last_active = None
+        self.last_lambdas = None
+        logger.warning(
+            "exact projection active-set loop did not satisfy the KKT conditions "
+            "within %d passes (d=%d, n=%d); engaging convergent "
+            "alternating-projection fallback (engagement #%d)",
+            max_iterations, region.num_dimensions, region.num_vertices,
+            self.fallback_count)
         return self._alternating_fallback(x)
 
     # ------------------------------------------------------------------ #
+    def _scales(self) -> np.ndarray:
+        if self._cache is not None:
+            return self._cache.scales
+        return np.maximum(np.abs(self.region.weights).sum(axis=1), 1.0)
+
     def _update_active_set(self, x: np.ndarray, active: dict[int, str]) -> bool:
         """Add violated constraints to the active set; return True if changed."""
         region = self.region
         sums = region.weighted_sums(x)
-        scale = np.maximum(np.abs(region.weights).sum(axis=1), 1.0)
+        scale = self._scales()
         changed = False
         for j in range(region.num_dimensions):
             if j in active:
@@ -87,38 +176,68 @@ class ExactProjector(Projector):
                 changed = True
         return changed
 
-    def _solve_active(self, point: np.ndarray,
-                      active: dict[int, str]) -> tuple[np.ndarray, np.ndarray]:
-        """Solve the equality-constrained projection for the active set."""
+    def _solve_active(self, point: np.ndarray, active: dict[int, str],
+                      warm_guess: dict[int, float] | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Solve the equality-constrained projection for the active set.
+
+        ``warm_guess`` supplies previous multipliers by dimension; when it
+        covers the whole active set a one-pass warm solve is attempted
+        before the cold solvers (see
+        :func:`~repro.core.projection.warmstart.try_warm_equality_solve`).
+        """
         region = self.region
         dims = sorted(active)
         weights = region.weights[dims]
         targets = np.array([
             region.upper[j] if active[j] == "upper" else region.lower[j] for j in dims
         ])
+
+        guess = None
+        if warm_guess is not None and all(j in warm_guess for j in dims):
+            guess = np.array([warm_guess[j] for j in dims])
+            lambdas = try_warm_equality_solve(point, weights, targets, guess)
+            if lambdas is not None:
+                self.last_warm_accepted = True
+                return lambdas, truncate(point - weights.T @ lambdas)
+
         if len(dims) == 1:
-            lambdas = np.array([solve_lambda_1d(point, weights[0], targets[0])])
+            dim_cache = self._cache.dimensions[dims[0]] if self._cache is not None else None
+            lambdas = np.array([solve_lambda_1d(
+                point, weights[0], targets[0],
+                total=dim_cache.total if dim_cache is not None else None,
+                weights_squared=(dim_cache.weights_squared
+                                 if dim_cache is not None else None))])
         elif len(dims) == 2:
-            lambdas = solve_lambda_2d(point, weights, targets)
+            lambdas = solve_lambda_2d(point, weights, targets, initial_guess=guess)
         else:
-            lambdas = solve_equality_system(point, weights, targets)
+            lambdas = solve_equality_system(point, weights, targets, initial_guess=guess)
         x = truncate(point - weights.T @ lambdas)
         return lambdas, x
 
-    def _drop_wrong_signs(self, active: dict[int, str], lambdas: np.ndarray) -> bool:
-        """Remove constraints whose multiplier violates its KKT sign."""
+    def _drop_wrong_sign(self, active: dict[int, str], lambdas: np.ndarray) -> bool:
+        """Remove the constraint whose multiplier most violates its KKT sign.
+
+        Dropping a single constraint per pass (rather than every wrong-signed
+        one at once) is the classical anti-cycling rule: it guarantees the
+        objective of the equality-constrained subproblem decreases
+        monotonically, which matters once warm starts can seed the loop with
+        arbitrary — possibly far-from-optimal — active sets.
+        """
         dims = sorted(active)
         scale = max(float(np.abs(lambdas).max(initial=0.0)), 1.0)
-        dropped = False
+        worst_violation = _SIGN_TOLERANCE * scale
+        worst_dim: int | None = None
         for lam, j in zip(lambdas, dims):
-            side = active[j]
-            if side == "upper" and lam < -_SIGN_TOLERANCE * scale:
-                del active[j]
-                dropped = True
-            elif side == "lower" and lam > _SIGN_TOLERANCE * scale:
-                del active[j]
-                dropped = True
-        return dropped
+            # Upper-side multipliers must be >= 0, lower-side ones <= 0.
+            violation = -lam if active[j] == "upper" else lam
+            if violation > worst_violation:
+                worst_violation = violation
+                worst_dim = j
+        if worst_dim is None:
+            return False
+        del active[worst_dim]
+        return True
 
     def _alternating_fallback(self, x: np.ndarray, max_rounds: int = 1000) -> np.ndarray:
         """Convergent alternating projections used only as a safety net."""
@@ -127,6 +246,9 @@ class ExactProjector(Projector):
             if region.contains(x, self._tolerance):
                 return x
             for j in range(region.num_dimensions):
-                x = project_onto_band(x, region.weights[j], region.lower[j], region.upper[j])
+                norm_squared = (self._cache.dimensions[j].norm_squared
+                                if self._cache is not None else None)
+                x = project_onto_band(x, region.weights[j], region.lower[j],
+                                      region.upper[j], norm_squared)
             x = project_onto_box(x)
         return x

@@ -9,7 +9,10 @@ nested binary search of Appendix A.1 locates a point very close to the
 optimum, and a final Newton-style polish solves the exact 2×2 linear system
 of the region containing it (the coefficients of ``h^(1)``/``h^(2)`` are
 linear within a region, so one solve suffices when the located region is
-correct; otherwise we keep the nested-search answer).
+correct; otherwise we keep the nested-search answer).  The region linear
+system is shared with the warm-start fast path
+(:mod:`repro.core.projection.warmstart`), which skips phase (1) entirely
+when multipliers from a nearby instance are available.
 """
 
 from __future__ import annotations
@@ -18,50 +21,36 @@ import numpy as np
 
 from .box import truncate
 from .nested import solve_equality_system
+from .warmstart import region_linear_system
 
 __all__ = ["solve_lambda_2d", "project_exact_2d"]
 
 
-def _region_linear_system(y: np.ndarray, weights: np.ndarray,
-                          lambdas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Coefficients of the 2×2 linear system valid in the current region.
-
-    Within a region the set of saturated coordinates is constant, so
-    ``h^(j)(λ) = saturated_j + Σ_{i interior} w^(j)_i (y_i − λ·w_i)`` is
-    affine in λ.  Returns the matrix ``M`` and offset ``b`` such that
-    ``h(λ) = b − M λ``.
-    """
-    sigma = weights.T @ lambdas
-    z = y - sigma
-    interior = np.abs(z) < 1.0
-    signs = np.sign(z)
-    saturated = weights[:, ~interior] @ signs[~interior] if (~interior).any() else np.zeros(2)
-    interior_weights = weights[:, interior]
-    offset = saturated + interior_weights @ y[interior]
-    matrix = interior_weights @ interior_weights.T
-    return matrix, offset
-
-
 def solve_lambda_2d(y: np.ndarray, weights: np.ndarray, targets: np.ndarray,
-                    tolerance: float = 1e-12) -> np.ndarray:
-    """Multipliers (λ₁, λ₂) with ``⟨w^(j), [y − λ₁w^(1) − λ₂w^(2)]⟩ = c_j``."""
+                    tolerance: float = 1e-12,
+                    initial_guess: np.ndarray | None = None) -> np.ndarray:
+    """Multipliers (λ₁, λ₂) with ``⟨w^(j), [y − λ₁w^(1) − λ₂w^(2)]⟩ = c_j``.
+
+    ``initial_guess`` warm-starts the nested bracket search (see
+    :func:`~repro.core.projection.nested.solve_equality_system`).
+    """
     y = np.asarray(y, dtype=np.float64)
     weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
     targets = np.asarray(targets, dtype=np.float64).ravel()
     if weights.shape[0] != 2 or targets.shape[0] != 2:
         raise ValueError("solve_lambda_2d requires exactly two dimensions")
 
-    lambdas = solve_equality_system(y, weights, targets, tolerance)
+    lambdas = solve_equality_system(y, weights, targets, tolerance, initial_guess)
 
     # Polish: solve the linear system of the region containing the current
     # estimate.  If the refined multipliers stay in the same region they are
     # exact; otherwise the nested-search estimate is already the best we have.
-    matrix, offset = _region_linear_system(y, weights, lambdas)
+    matrix, offset = region_linear_system(y, weights, lambdas)
     try:
         refined = np.linalg.solve(matrix, offset - targets)
     except np.linalg.LinAlgError:
         return lambdas
-    refined_matrix, _ = _region_linear_system(y, weights, refined)
+    refined_matrix, _ = region_linear_system(y, weights, refined)
     if np.allclose(refined_matrix, matrix):
         return refined
     return lambdas

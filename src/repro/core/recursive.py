@@ -21,6 +21,12 @@ pool, or on a process pool, selected by :attr:`GDConfig.parallelism` and
 :meth:`Graph.subgraph` in the coordinating process and only ships the
 (remapped) subproblem to the workers.
 
+Each worker's ``gd_bisect`` call constructs its own
+:class:`~repro.core.projection.ProjectionEngine` for its subproblem's
+feasible region, so the projection caches and warm-start state are local
+to the worker — nothing stateful crosses the pickle boundary, and the
+engine's results are independent of the execution backend.
+
 Deterministic-seeding contract
 ------------------------------
 The RNG seed of every subproblem is a pure function of the task's position

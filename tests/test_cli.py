@@ -37,6 +37,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["partition", "g.txt", "--algorithm", "bogus"])
 
+    def test_projection_flags(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.projection == "alternating_oneshot"
+        assert args.projection_cache is True
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--projection", "exact", "--no-projection-cache"])
+        assert args.projection == "exact"
+        assert args.projection_cache is False
+
+    def test_rejects_unknown_projection(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "g.txt", "--projection", "bogus"])
+
 
 class TestPartitionCommand:
     def test_gd_partition_writes_assignment(self, graph_file, tmp_path, capsys):
