@@ -9,8 +9,17 @@ one simulated superstep.  They are the numbers to watch when optimizing.
 import itertools
 
 import numpy as np
+import pytest
 
-from repro.core import GDConfig, QuadraticRelaxation, gd_bisect, recursive_bisection
+from repro.core import (
+    BatchedFrontierSolver,
+    FrontierTask,
+    GDConfig,
+    QuadraticRelaxation,
+    gd_bisect,
+    recursive_bisection,
+    task_seed,
+)
 from repro.core.projection import (
     ExactProjector,
     FeasibleRegion,
@@ -25,6 +34,27 @@ from repro.partition import Partition
 GRAPH = livejournal_like(scale=1.0, seed=0)
 WEIGHTS = standard_weights(GRAPH, 2)
 REGION = FeasibleRegion.balanced(WEIGHTS, 0.05)
+
+
+def _k8_frontier(iterations: int = 30) -> list[FrontierTask]:
+    """The wave that refines a k=8 partition: 8 independent bisection tasks
+    on disjoint chunks of the benchmark graph, each with its own
+    recursion-coordinate seed — the workload shape every level of the
+    recursive scheduler hands to its execution backend."""
+    chunks = np.array_split(np.arange(GRAPH.num_vertices), 8)
+    tasks = []
+    for index, ids in enumerate(chunks):
+        subgraph, mapping = GRAPH.subgraph(ids)
+        config = GDConfig(iterations=iterations, seed=task_seed(0, 3, index))
+        tasks.append(FrontierTask(subgraph=subgraph, weights=WEIGHTS[:, mapping],
+                                  epsilon=0.05, config=config))
+    return tasks
+
+
+def _solve_frontier_serially(tasks) -> list[np.ndarray]:
+    return [gd_bisect(task.subgraph, task.weights, task.epsilon, task.config,
+                      task.target_fraction).partition.assignment
+            for task in tasks]
 
 
 def _projection_workload(d: int, count: int = 32):
@@ -164,6 +194,88 @@ def test_perf_recursive_bisection_k8_serial(benchmark):
     config = GDConfig(iterations=10, seed=0)
     benchmark.pedantic(lambda: recursive_bisection(GRAPH, WEIGHTS, 8, 0.05, config),
                        rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_perf_recursive_bisection_k8_batched(benchmark):
+    """The same end-to-end k=8 partitioning on the batched backend: every
+    recursion level advanced in lock-step as one block-diagonal solve."""
+    config = GDConfig(iterations=10, seed=0)
+    benchmark.pedantic(lambda: recursive_bisection(GRAPH, WEIGHTS, 8, 0.05, config,
+                                                   parallelism="batched"),
+                       rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_perf_frontier_serial_k8(benchmark):
+    """One 8-task frontier wave solved task by task (the serial backend's
+    per-task iteration loops) — the reference for the batched speedup."""
+    tasks = _k8_frontier()
+    benchmark.pedantic(lambda: _solve_frontier_serially(tasks),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_perf_frontier_batched_k8(benchmark):
+    """The same 8-task frontier advanced in lock-step by the batched
+    solver.  The acceptance bar of ISSUE 3: >= 2x faster per-task
+    iteration than test_perf_frontier_serial_k8 (enforced directly by
+    test_frontier_batched_speedup, and against the checked-in baseline by
+    the perf guard)."""
+    tasks = _k8_frontier()
+    benchmark.pedantic(lambda: BatchedFrontierSolver(tasks).solve(),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.slow
+def test_frontier_batched_speedup():
+    """Direct enforcement of the >= 2x batched-over-serial bar on a k=8
+    frontier, plus the determinism contract on the very same runs.
+
+    Marked ``slow`` so the wall-clock assertion stays out of the main
+    `-m "not slow"` test matrix: it runs where timing is the point — the
+    perf job (which collects this file unfiltered) and the nightly slow
+    lane.
+
+    Measures the *per-task iteration* cost — the phase the batched backend
+    vectorizes — by disabling the finalization tail (clean-up projection,
+    rounding, balance repair), which is byte-for-byte the same shared code
+    on both paths and whose data-dependent repair loop only adds timing
+    noise (the full-solve pair above carries the end-to-end numbers for
+    the perf guard).  Timed inline, both paths back to back in one
+    process, so the ratio is machine-speed independent; best-of-five with
+    up to two retry rounds smooths scheduler noise.  Observed ratio
+    ~2.2x, leaving margin over the enforced 2x.
+    """
+    import time
+
+    full_tasks = _k8_frontier()
+    serial_assignments = _solve_frontier_serially(full_tasks)  # warm-up + reference
+    batched_assignments = BatchedFrontierSolver(full_tasks).solve()
+    for expected, actual in zip(serial_assignments, batched_assignments):
+        np.testing.assert_array_equal(expected, actual)
+
+    tasks = [
+        FrontierTask(subgraph=task.subgraph, weights=task.weights,
+                     epsilon=task.epsilon,
+                     config=task.config.with_updates(final_projection_rounds=0,
+                                                     balance_repair=False))
+        for task in full_tasks
+    ]
+    _solve_frontier_serially(tasks)
+    BatchedFrontierSolver(tasks).solve()
+
+    serial_best, batched_best = float("inf"), float("inf")
+    for _ in range(3):  # retry rounds against scheduler noise
+        for _ in range(5):
+            start = time.perf_counter()
+            _solve_frontier_serially(tasks)
+            serial_best = min(serial_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            BatchedFrontierSolver(tasks).solve()
+            batched_best = min(batched_best, time.perf_counter() - start)
+        if batched_best * 2.0 <= serial_best:
+            break
+    assert batched_best * 2.0 <= serial_best, (
+        f"batched frontier iteration not >= 2x faster: "
+        f"batched={batched_best:.4f}s serial={serial_best:.4f}s")
 
 
 def test_perf_pagerank_superstep(benchmark):

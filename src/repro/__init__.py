@@ -31,6 +31,9 @@ from .core import GDConfig, GDPartitioner, gd_bisect, recursive_bisection
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
 
+# The single source of the package version: pyproject.toml declares
+# ``version`` as dynamic and reads this attribute; the CLI's ``--version``
+# flag prints it.
 __version__ = "1.0.0"
 
 __all__ = [

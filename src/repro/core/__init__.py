@@ -3,17 +3,26 @@
 from .config import GDConfig, PARALLELISM_MODES, PROJECTION_METHODS
 from .executor import BisectionExecutor, task_seed
 from .relaxation import QuadraticRelaxation
-from .noise import NoiseSchedule
-from .step import StepSizeController, target_step_length
+from .noise import BatchedNoiseSchedule, NoiseSchedule
+from .step import BatchedStepSizeController, StepSizeController, target_step_length
 from .rounding import balance_repair, deterministic_round, randomized_round
-from .gd import BisectionResult, GDPartitioner, IterationRecord, gd_bisect
+from .gd import (
+    BisectionResult,
+    BisectionStepper,
+    GDPartitioner,
+    IterationRecord,
+    gd_bisect,
+)
+from .batched import BatchedFrontierSolver, FrontierStats, FrontierTask
 from .recursive import recursive_bisection
 from .multiway import MultiwayResult, gd_multiway, project_rows_to_simplex
 from .projection import (
     AlternatingProjector,
+    BatchedProjectionEngine,
     DykstraProjector,
     ExactProjector,
     FeasibleRegion,
+    FrontierCache,
     ProjectionEngine,
     ProjectionStats,
     Projector,
@@ -28,24 +37,32 @@ __all__ = [
     "BisectionExecutor",
     "task_seed",
     "QuadraticRelaxation",
+    "BatchedNoiseSchedule",
     "NoiseSchedule",
+    "BatchedStepSizeController",
     "StepSizeController",
     "target_step_length",
     "balance_repair",
     "deterministic_round",
     "randomized_round",
     "BisectionResult",
+    "BisectionStepper",
     "GDPartitioner",
     "IterationRecord",
     "gd_bisect",
+    "BatchedFrontierSolver",
+    "FrontierStats",
+    "FrontierTask",
     "recursive_bisection",
     "MultiwayResult",
     "gd_multiway",
     "project_rows_to_simplex",
     "AlternatingProjector",
+    "BatchedProjectionEngine",
     "DykstraProjector",
     "ExactProjector",
     "FeasibleRegion",
+    "FrontierCache",
     "ProjectionEngine",
     "ProjectionStats",
     "Projector",

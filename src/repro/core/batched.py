@@ -1,0 +1,284 @@
+"""Level-batched GD: solve a whole bisection frontier as one vectorized
+block-diagonal solve.
+
+The recursive bisection of §3.3 processes the recursion tree one *wave*
+at a time: every wave is a frontier of independent GD subproblems on
+disjoint vertex sets.  The thread/process backends overlap those
+subproblems across cores; on a single core they buy nothing — each
+subproblem still runs its own Python-level iteration loop over small
+arrays.  :class:`BatchedFrontierSolver` is the single-process answer: it
+advances the *entire frontier in lock-step*, one iteration for all blocks
+at a time, on stacked state:
+
+* the subgraphs are stacked into one block-diagonal CSR operator
+  (:meth:`repro.graphs.Graph.block_diagonal`), so the W per-block
+  gradient mat-vecs become one large ``A @ x``;
+* the iterates, fixed-vertex masks, noise and step-size state live in
+  concatenated arrays
+  (:class:`~repro.core.noise.BatchedNoiseSchedule`,
+  :class:`~repro.core.step.BatchedStepSizeController`), so the
+  per-iteration bookkeeping is W-independent;
+* projections are served frontier-at-a-time by a
+  :class:`~repro.core.projection.BatchedProjectionEngine`, which sweeps
+  all unrestricted one-shot blocks in a handful of stacked calls and
+  routes everything else through per-block engines.
+
+Determinism contract
+--------------------
+``parallelism="batched"`` produces **bit-identical** partitions to the
+serial/thread/process backends.  Each ingredient preserves it exactly:
+
+* the block-diagonal mat-vec reproduces every block's ``A_i @ x_i`` bit
+  for bit because each CSR row keeps its block's neighbor order (same
+  summation order — see :meth:`Graph.block_diagonal`);
+* reductions (gradient norms, realized step lengths, projection dots)
+  are taken over contiguous *slices* of the stacked arrays, which is the
+  same kernel over the same values as the per-block arrays;
+* elementwise updates (noise add, gradient step, hyperplane/box sweep,
+  vertex fixing) are batching-invariant by construction;
+* each block keeps its own task-seeded RNG, sampled in the same order as
+  a serial run — including for blocks that already converged — so the
+  randomized rounding consumes identical streams.
+
+Early convergence
+-----------------
+A block whose vertices are all fixed can never move again (its update is
+the identity), so it *drops out of the batch*: it is masked from the
+projection and step-size work while the rest of the wave continues, and
+the whole loop exits once every block has converged.  Dropping out is
+output-neutral — a serial run would keep iterating on a frozen iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..partition.partition import Partition
+from ..partition.validation import validate_epsilon, validate_weights
+from .config import GDConfig
+from .gd import bisection_regions, finalize_bisection
+from .noise import BatchedNoiseSchedule, NoiseSchedule
+from .projection import BatchedProjectionEngine
+from .relaxation import QuadraticRelaxation
+from .step import BatchedStepSizeController, target_step_length
+
+__all__ = ["BatchedFrontierSolver", "FrontierStats", "FrontierTask"]
+
+
+@dataclass(frozen=True)
+class FrontierTask:
+    """One bisection subproblem of a frontier (the batched unit of work).
+
+    Structurally identical to the subproblems the recursive scheduler
+    ships to its workers; ``config.seed`` is the task's deterministic
+    per-subproblem seed.  The ``config.parallelism`` / ``max_workers``
+    fields are ignored — the frontier is the unit of parallelism.
+    """
+
+    subgraph: Graph
+    weights: np.ndarray
+    epsilon: float
+    config: GDConfig
+    target_fraction: float = 0.5
+
+
+@dataclass
+class FrontierStats:
+    """Diagnostics of one :meth:`BatchedFrontierSolver.solve` run."""
+
+    blocks: int = 0
+    iterations_run: int = 0
+    dropped_early: int = 0
+    vectorized_projections: int = 0
+    engine_projections: int = 0
+
+
+@dataclass(frozen=True)
+class _Block:
+    """Validated per-block state assembled before the stacked loop."""
+
+    index: int  # position in the caller's task list
+    graph: Graph
+    weights: np.ndarray = field(repr=False)
+    epsilon: float
+    target_fraction: float
+    seed: int
+
+
+class BatchedFrontierSolver:
+    """Advances a frontier of GD bisections in lock-step (see module docs).
+
+    Accepts any sequence of objects with the :class:`FrontierTask` fields
+    (the recursive scheduler passes its own subproblem records).  All
+    tasks must share one :class:`GDConfig` up to the ``seed`` field —
+    lock-step execution requires a common iteration budget and method
+    selection; the recursive scheduler satisfies this by construction.
+    ``record_history`` is not supported (the recursive scheduler disables
+    it for subproblems; history recording never affects the iterates).
+    """
+
+    def __init__(self, tasks: Sequence[FrontierTask]):
+        self._tasks = list(tasks)
+        if not self._tasks:
+            raise ValueError("at least one frontier task is required")
+        reference = self._tasks[0].config
+        for task in self._tasks[1:]:
+            # Seed is per-task by design; parallelism/max_workers are
+            # documented as ignored, so they do not break uniformity.
+            normalized = task.config.with_updates(
+                seed=reference.seed, parallelism=reference.parallelism,
+                max_workers=reference.max_workers)
+            if normalized != reference:
+                raise ValueError(
+                    "all frontier tasks must share one GDConfig up to the seed "
+                    "(lock-step execution needs a common iteration budget)")
+        if reference.record_history:
+            raise ValueError("the batched frontier solver does not record "
+                             "per-iteration history; use the serial backend")
+        self.stats = FrontierStats()
+
+    # ------------------------------------------------------------------ #
+    def solve(self) -> list[np.ndarray]:
+        """Bisect every task; returns one local 0/1 assignment per task,
+        in task order (empty arrays for empty subgraphs)."""
+        results: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(self._tasks)
+        blocks: list[_Block] = []
+        for index, task in enumerate(self._tasks):
+            # Same checks in the same order as gd_bisect (epsilon, weights,
+            # target fraction), so an invalid task raises the identical
+            # error on every backend.
+            epsilon = validate_epsilon(task.epsilon)
+            weights = validate_weights(task.subgraph, task.weights)
+            if not 0.0 < task.target_fraction < 1.0:
+                raise ValueError("target_fraction must be strictly between 0 and 1")
+            if task.subgraph.num_vertices == 0:
+                results[index] = np.empty(0, dtype=np.int64)
+                continue
+            blocks.append(_Block(
+                index=index,
+                graph=task.subgraph,
+                weights=weights,
+                epsilon=epsilon,
+                target_fraction=task.target_fraction,
+                seed=task.config.seed,
+            ))
+        if blocks:
+            for block, assignment in zip(blocks, self._solve_blocks(blocks)):
+                results[block.index] = assignment
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _solve_blocks(self, blocks: list[_Block]) -> list[np.ndarray]:
+        config = self._tasks[blocks[0].index].config
+        num_blocks = len(blocks)
+        self.stats.blocks = num_blocks
+
+        stacked, offsets = Graph.block_diagonal([block.graph for block in blocks])
+        sizes = np.diff(offsets)
+        relaxation = QuadraticRelaxation(stacked)
+
+        regions, final_regions, centers = [], [], []
+        for block in blocks:
+            region, final_region, center = bisection_regions(
+                block.weights, block.epsilon, config, block.target_fraction)
+            regions.append(region)
+            final_regions.append(final_region)
+            centers.append(center)
+        projection = BatchedProjectionEngine(config.projection, regions,
+                                             cache=config.projection_cache)
+
+        rngs = [np.random.default_rng(block.seed) for block in blocks]
+        noise = BatchedNoiseSchedule([
+            NoiseSchedule(int(size), std=config.noise_std,
+                          every_iteration=config.noise_every_iteration, rng=rng)
+            for size, rng in zip(sizes, rngs)])
+        targets = np.array([
+            target_step_length(int(size), config.iterations, config.step_length_factor)
+            for size in sizes])
+        controller = BatchedStepSizeController(targets, adaptive=config.adaptive_step)
+
+        x = np.zeros(stacked.num_vertices)
+        fixed = np.zeros(stacked.num_vertices, dtype=bool)
+        free_counts = sizes.copy()
+        active = np.ones(num_blocks, dtype=bool)
+        fixing_start = int(config.fixing_start_fraction * config.iterations)
+
+        noisy_iterations = config.noise_every_iteration
+        for iteration in range(config.iterations):
+            if not active.any():
+                # Every block converged: a serial run would keep drawing
+                # per-iteration noise, so advance the RNG streams the same
+                # way before they are reused by the rounding step.
+                noise.consume(iteration, config.iterations)
+                break
+            self.stats.iterations_run += 1
+
+            if iteration == 0 or noisy_iterations:
+                free = ~fixed
+                z = x.copy()
+                z[free] += noise.sample_stacked(iteration)[free]
+            else:
+                # No noise this iteration: the serial path adds a zero
+                # vector, which cannot change any magnitude (only,
+                # in principle, the sign of an exact zero — invisible to
+                # every comparison and rounding step downstream), so the
+                # copy-and-add is skipped.
+                z = x
+            gradient = relaxation.gradient(z)
+
+            if not controller.primed:
+                # First iteration: per-block gradient norms, exactly as the
+                # scalar controller normalizes (no vertex is fixed yet).
+                # np.linalg.norm of a 1-D float64 vector is sqrt(x @ x);
+                # the dot is spelled out to skip the wrapper overhead.
+                norms = np.array([
+                    float(np.sqrt(gradient[offsets[b]:offsets[b + 1]]
+                                  @ gradient[offsets[b]:offsets[b + 1]]))
+                    for b in range(num_blocks)])
+                gammas = controller.step_sizes(norms)
+            else:
+                gammas = controller.step_sizes()
+
+            y = z + np.repeat(gammas, sizes) * gradient
+            y[fixed] = x[fixed]
+
+            new_x = projection.project_frontier(y, x, fixed, active, free_counts)
+
+            delta = new_x - x
+            # Converged blocks take no step (their delta is exactly zero
+            # and the controller masks them anyway), so only active blocks
+            # pay for a norm.
+            realized = np.zeros(num_blocks)
+            for b in np.flatnonzero(active):
+                segment = delta[offsets[b]:offsets[b + 1]]
+                realized[b] = float(np.sqrt(segment @ segment))
+            controller.update(realized, active)
+            x = new_x
+
+            if config.vertex_fixing and iteration >= fixing_start:
+                newly_fixed = (~fixed) & (np.abs(x) >= config.fixing_threshold)
+                if newly_fixed.any():
+                    x[newly_fixed] = np.where(x[newly_fixed] >= 0.0, 1.0, -1.0)
+                    fixed |= newly_fixed
+                    free_counts = free_counts - np.add.reduceat(
+                        newly_fixed.astype(np.int64), offsets[:-1])
+                    converged = active & (free_counts == 0)
+                    if converged.any():
+                        self.stats.dropped_early += int(converged.sum())
+                        active &= free_counts > 0
+
+        self.stats.vectorized_projections = projection.vectorized_projections
+        self.stats.engine_projections = projection.engine_projections
+
+        assignments: list[np.ndarray] = []
+        for b, block in enumerate(blocks):
+            segment = slice(offsets[b], offsets[b + 1])
+            sides = finalize_bisection(block.graph, block.weights, config,
+                                       block.epsilon, final_regions[b], centers[b],
+                                       x[segment], fixed[segment], rngs[b])
+            assignments.append(Partition.from_sides(block.graph, sides).assignment)
+        return assignments

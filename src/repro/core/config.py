@@ -19,6 +19,7 @@ PARALLELISM_MODES = (
     "serial",
     "thread",
     "process",
+    "batched",
 )
 
 
@@ -90,13 +91,17 @@ class GDConfig:
         run independent sub-bisections of the recursion tree: ``"serial"``
         (in-process, the default), ``"thread"`` (a
         :class:`~concurrent.futures.ThreadPoolExecutor`; the numpy/scipy
-        kernels release the GIL), or ``"process"`` (a
-        :class:`~concurrent.futures.ProcessPoolExecutor`).  All backends
+        kernels release the GIL), ``"process"`` (a
+        :class:`~concurrent.futures.ProcessPoolExecutor`), or
+        ``"batched"`` (advance each level's whole frontier in lock-step as
+        one vectorized block-diagonal solve — single-process, so it speeds
+        up even a one-core machine; see
+        :class:`~repro.core.batched.BatchedFrontierSolver`).  All backends
         produce bit-identical partitions for a fixed ``seed``.
     max_workers:
         Worker count for the thread/process backends; ``None`` lets
         :mod:`concurrent.futures` pick a machine-dependent default.
-        Ignored when ``parallelism == "serial"``.
+        Ignored when ``parallelism`` is ``"serial"`` or ``"batched"``.
     """
 
     iterations: int = 100

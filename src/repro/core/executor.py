@@ -5,8 +5,11 @@ contains, at every level, a frontier of bisection subproblems that touch
 disjoint vertex sets and are therefore fully independent.
 :class:`BisectionExecutor` is the small abstraction that runs one such
 frontier: serially, on a thread pool (the numpy/scipy kernels inside GD
-release the GIL during mat-vecs and sorts, so threads already overlap), or
-on a process pool for full CPU parallelism.
+release the GIL during mat-vecs and sorts, so threads already overlap),
+on a process pool for full CPU parallelism, or *batched* — the whole
+frontier advanced in lock-step as one vectorized block-diagonal solve
+(:class:`~repro.core.batched.BatchedFrontierSolver`), which needs no
+extra cores at all.
 
 Two properties the scheduler relies on:
 
@@ -72,10 +75,11 @@ class BisectionExecutor:
     Parameters
     ----------
     parallelism:
-        ``"serial"``, ``"thread"`` or ``"process"``.
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"batched"``.
     max_workers:
-        Pool size for the non-serial backends; ``None`` uses the
-        :mod:`concurrent.futures` default.
+        Pool size for the thread/process backends; ``None`` uses the
+        :mod:`concurrent.futures` default.  Ignored by the serial and
+        batched backends.
 
     Usable as a context manager; the underlying pool (if any) is created
     lazily on the first :meth:`map` call and shut down on exit, so the pool
@@ -121,11 +125,38 @@ class BisectionExecutor:
 
         With a single task (the root of the recursion tree, typically the
         most expensive bisection of the whole run) the pool is bypassed to
-        avoid pickling the largest subgraph for no concurrency gain.
+        avoid pickling the largest subgraph for no concurrency gain.  The
+        batched backend has no generic function-level batching, so ``map``
+        runs it serially — frontier-shaped work should go through
+        :meth:`solve_frontier` instead.
         """
         tasks = list(tasks)
-        if self.parallelism == "serial" or len(tasks) <= 1:
+        if self.parallelism in ("serial", "batched") or len(tasks) <= 1:
             return [function(task) for task in tasks]
         pool = self._ensure_pool()
         futures = [pool.submit(function, task) for task in tasks]
         return [future.result() for future in futures]
+
+    def solve_frontier(self, subproblems: Sequence[_T],
+                       run_one: Callable[[_T], np.ndarray]) -> list[np.ndarray]:
+        """Solve one wave of bisection subproblems on the configured backend.
+
+        ``subproblems`` are :class:`~repro.core.batched.FrontierTask`-shaped
+        records.  The batched backend hands the whole wave to
+        :class:`~repro.core.batched.BatchedFrontierSolver`, which advances
+        every subproblem in lock-step as one block-diagonal solve; the
+        other backends map ``run_one`` over the tasks.  Either way the
+        per-task local assignments come back in task order and are
+        bit-identical across backends (the deterministic-seeding
+        contract).
+        """
+        subproblems = list(subproblems)
+        if self.parallelism == "batched":
+            if not subproblems:
+                return []
+            # Imported lazily: the executor itself stays independent of the
+            # solver stack (only the batched backend needs it).
+            from .batched import BatchedFrontierSolver
+
+            return BatchedFrontierSolver(subproblems).solve()
+        return self.map(run_one, subproblems)

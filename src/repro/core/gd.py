@@ -21,6 +21,17 @@ served by one :class:`~repro.core.projection.ProjectionEngine` per
 bisection, which caches the region's weight invariants and warm-starts
 each projection from the previous iterate's solution (disable via
 ``GDConfig.projection_cache`` for A/B comparisons).
+
+Structure
+---------
+The algorithm is decomposed so the batched frontier solver can reuse it:
+:class:`BisectionStepper` owns one bisection's mutable state and advances
+it one iteration at a time; :func:`bisection_regions` and
+:func:`finalize_bisection` are the construction/finalization halves shared
+with :class:`~repro.core.batched.BatchedFrontierSolver`, which mirrors
+``BisectionStepper.step`` on stacked arrays.  :func:`gd_bisect` is the
+serial driver: build a stepper, step it ``config.iterations`` times,
+finalize.
 """
 
 from __future__ import annotations
@@ -46,7 +57,15 @@ from .relaxation import QuadraticRelaxation
 from .rounding import balance_repair, deterministic_round, randomized_round
 from .step import StepSizeController, target_step_length
 
-__all__ = ["IterationRecord", "BisectionResult", "gd_bisect", "GDPartitioner"]
+__all__ = [
+    "IterationRecord",
+    "BisectionResult",
+    "BisectionStepper",
+    "bisection_regions",
+    "finalize_bisection",
+    "gd_bisect",
+    "GDPartitioner",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +108,181 @@ def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRela
     )
 
 
+def bisection_regions(weights: np.ndarray, epsilon: float, config: GDConfig,
+                      target_fraction: float
+                      ) -> tuple[FeasibleRegion, FeasibleRegion, np.ndarray]:
+    """The descent region, the final clean-up region, and the band center.
+
+    The balance band: ``⟨w_j, x⟩`` must lie within ``eps * W_j`` of the
+    target ``(2 * fraction − 1) * W_j`` (``fraction = 0.5`` recovers the
+    symmetric band).  The descent region uses the (possibly wider)
+    ``config.projection_epsilon``; the final region uses the
+    user-requested ``epsilon``.  Shared by the serial stepper and the
+    batched frontier solver so both construct bit-identical regions.
+    """
+    projection_epsilon = (config.projection_epsilon
+                          if config.projection_epsilon is not None else epsilon)
+    totals = weights.sum(axis=1)
+    center = (2.0 * target_fraction - 1.0) * totals
+    slack = projection_epsilon * totals
+    region = FeasibleRegion(weights=weights, lower=center - slack, upper=center + slack)
+    final_region = FeasibleRegion(weights=weights,
+                                  lower=center - epsilon * totals,
+                                  upper=center + epsilon * totals)
+    return region, final_region, center
+
+
+def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
+                       epsilon: float, final_region: FeasibleRegion,
+                       center: np.ndarray, x: np.ndarray, fixed: np.ndarray,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Shared tail of one bisection: clean-up projection, rounding, repair.
+
+    One-shot alternating projections accumulate a residual imbalance; run
+    convergent sweeps on the free vertices to remove it, then round the
+    fractional solution and (optionally) repair the integral balance.
+    Mutates ``x`` in place (the clean-up projection) and returns the ±1
+    side vector.  Serial and batched GD call this with identical
+    per-subproblem state, which keeps their outputs bit-identical.
+    """
+    if config.final_projection_rounds > 0:
+        free = ~fixed
+        if free.any():
+            sub_region = final_region.restrict(free, x[fixed]) if fixed.any() else final_region
+            cleaner = AlternatingProjector(sub_region, one_shot=False,
+                                           use_band_center=False,
+                                           max_rounds=config.final_projection_rounds)
+            x[free] = cleaner.project_to_feasibility(x[free])
+
+    sides = randomized_round(x, rng)
+    if config.balance_repair:
+        sides = balance_repair(graph, sides, weights, epsilon, center=center)
+    return sides
+
+
+class BisectionStepper:
+    """One GD bisection's state, advanced one iteration at a time.
+
+    :func:`gd_bisect` drives a stepper for ``config.iterations`` steps and
+    calls :meth:`result`.  The batched frontier solver
+    (:mod:`repro.core.batched`) mirrors :meth:`step` on stacked arrays and
+    shares :func:`bisection_regions` / :func:`finalize_bisection`, which is
+    what keeps the serial and batched paths bit-identical.
+
+    Requires a non-empty graph (``gd_bisect`` short-circuits ``n == 0``).
+    """
+
+    def __init__(self, graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
+                 config: GDConfig | None = None, target_fraction: float = 0.5):
+        # Clock starts here so BisectionResult.elapsed_seconds keeps its
+        # pre-refactor meaning: construction (relaxation, regions, engine)
+        # counts, as it did inside the old monolithic gd_bisect.
+        self._start_time = time.perf_counter()
+        config = config if config is not None else GDConfig()
+        epsilon = validate_epsilon(epsilon)
+        weights = validate_weights(graph, weights)
+        if not 0.0 < target_fraction < 1.0:
+            raise ValueError("target_fraction must be strictly between 0 and 1")
+        if graph.num_vertices == 0:
+            raise ValueError("BisectionStepper requires a non-empty graph")
+
+        self.graph = graph
+        self.weights = weights
+        self.epsilon = epsilon
+        self.config = config
+        self.target_fraction = target_fraction
+
+        n = graph.num_vertices
+        self.rng = np.random.default_rng(config.seed)
+        self.history: list[IterationRecord] = []
+        self.relaxation = QuadraticRelaxation(graph)
+        self.region, self.final_region, self.center = bisection_regions(
+            weights, epsilon, config, target_fraction)
+
+        self.noise = NoiseSchedule(n, std=config.noise_std,
+                                   every_iteration=config.noise_every_iteration,
+                                   rng=self.rng)
+        step_target = target_step_length(n, config.iterations, config.step_length_factor)
+        self.controller = StepSizeController(step_target, adaptive=config.adaptive_step)
+
+        self.x = np.zeros(n)
+        self.fixed = np.zeros(n, dtype=bool)
+        self.fixing_start = int(config.fixing_start_fraction * config.iterations)
+        # One engine per bisection: the feasible region (and hence every
+        # cached weight invariant) is constant across iterations, and
+        # consecutive iterates warm-start each other's projections.  Worker
+        # processes of the parallel recursive scheduler each run their own
+        # gd_bisect and hence build their own engine — no cache state
+        # crosses the pickle boundary.
+        self.engine = ProjectionEngine(config.projection, self.region,
+                                       cache=config.projection_cache)
+
+    @property
+    def converged(self) -> bool:
+        """Whether every vertex is fixed (the iterate can no longer move)."""
+        return bool(self.fixed.all())
+
+    def step(self, iteration: int) -> float:
+        """Run one noise/gradient/projection iteration; returns the
+        realized (post-projection) Euclidean step length."""
+        config = self.config
+        free = ~self.fixed
+        z = self.x.copy()
+        z[free] += self.noise.sample(iteration)[free]
+
+        gradient = self.relaxation.gradient(z)
+        gamma = self.controller.step_size(gradient[free] if free.any() else gradient)
+        y = z + gamma * gradient
+        y[self.fixed] = self.x[self.fixed]
+
+        if self.fixed.any():
+            new_x = self.x.copy()
+            new_x[free] = self.engine.project_restricted(y[free], free,
+                                                         self.x[self.fixed])
+        else:
+            new_x = self.engine.project(y)
+
+        realized = float(np.linalg.norm(new_x - self.x))
+        self.controller.update(realized)
+        self.x = new_x
+
+        if config.vertex_fixing and iteration >= self.fixing_start:
+            newly_fixed = (~self.fixed) & (np.abs(self.x) >= config.fixing_threshold)
+            if newly_fixed.any():
+                self.x[newly_fixed] = np.where(self.x[newly_fixed] >= 0.0, 1.0, -1.0)
+                self.fixed |= newly_fixed
+
+        if config.record_history:
+            self.history.append(_history_record(self.graph, self.weights,
+                                                self.relaxation, self.x, iteration,
+                                                realized, int(self.fixed.sum())))
+        return realized
+
+    def result(self) -> BisectionResult:
+        """Finalize the bisection (clean-up projection, rounding, repair)."""
+        config = self.config
+        sides = finalize_bisection(self.graph, self.weights, config, self.epsilon,
+                                   self.final_region, self.center, self.x,
+                                   self.fixed, self.rng)
+        partition = Partition.from_sides(self.graph, sides)
+
+        if config.record_history:
+            self.history.append(_history_record(self.graph, self.weights,
+                                                self.relaxation, sides,
+                                                config.iterations, 0.0,
+                                                int(self.fixed.sum())))
+
+        return BisectionResult(
+            partition=partition,
+            fractional=self.x,
+            history=self.history,
+            epsilon=self.epsilon,
+            config=config,
+            elapsed_seconds=time.perf_counter() - self._start_time,
+            projection_stats=self.engine.stats,
+        )
+
+
 def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
               config: GDConfig | None = None,
               target_fraction: float = 0.5) -> BisectionResult:
@@ -112,109 +306,21 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
     """
     config = config if config is not None else GDConfig()
     epsilon = validate_epsilon(epsilon)
-    weights = validate_weights(graph, weights)
-    if not 0.0 < target_fraction < 1.0:
-        raise ValueError("target_fraction must be strictly between 0 and 1")
 
-    start_time = time.perf_counter()
-    n = graph.num_vertices
-    rng = np.random.default_rng(config.seed)
-    history: list[IterationRecord] = []
-
-    if n == 0:
+    if graph.num_vertices == 0:
+        start_time = time.perf_counter()
+        validate_weights(graph, weights)
+        if not 0.0 < target_fraction < 1.0:
+            raise ValueError("target_fraction must be strictly between 0 and 1")
         empty = Partition(graph=graph, assignment=np.empty(0, dtype=np.int64), num_parts=2)
-        return BisectionResult(partition=empty, fractional=np.empty(0), history=history,
+        return BisectionResult(partition=empty, fractional=np.empty(0), history=[],
                                epsilon=epsilon, config=config,
                                elapsed_seconds=time.perf_counter() - start_time)
 
-    relaxation = QuadraticRelaxation(graph)
-    projection_epsilon = (config.projection_epsilon
-                          if config.projection_epsilon is not None else epsilon)
-
-    # The balance band: ⟨w_j, x⟩ must lie within eps*W_j of the target
-    # (2 * fraction − 1) * W_j.  fraction = 0.5 recovers the symmetric band.
-    totals = weights.sum(axis=1)
-    center = (2.0 * target_fraction - 1.0) * totals
-    slack = projection_epsilon * totals
-    region = FeasibleRegion(weights=weights, lower=center - slack, upper=center + slack)
-    final_region = FeasibleRegion(weights=weights,
-                                  lower=center - epsilon * totals,
-                                  upper=center + epsilon * totals)
-
-    noise = NoiseSchedule(n, std=config.noise_std,
-                          every_iteration=config.noise_every_iteration, rng=rng)
-    step_target = target_step_length(n, config.iterations, config.step_length_factor)
-    controller = StepSizeController(step_target, adaptive=config.adaptive_step)
-
-    x = np.zeros(n)
-    fixed = np.zeros(n, dtype=bool)
-    fixing_start = int(config.fixing_start_fraction * config.iterations)
-    # One engine per bisection: the feasible region (and hence every cached
-    # weight invariant) is constant across iterations, and consecutive
-    # iterates warm-start each other's projections.  Worker processes of the
-    # parallel recursive scheduler each run their own gd_bisect and hence
-    # build their own engine — no cache state crosses the pickle boundary.
-    engine = ProjectionEngine(config.projection, region, cache=config.projection_cache)
-
+    stepper = BisectionStepper(graph, weights, epsilon, config, target_fraction)
     for iteration in range(config.iterations):
-        free = ~fixed
-        z = x.copy()
-        z[free] += noise.sample(iteration)[free]
-
-        gradient = relaxation.gradient(z)
-        gamma = controller.step_size(gradient[free] if free.any() else gradient)
-        y = z + gamma * gradient
-        y[fixed] = x[fixed]
-
-        if fixed.any():
-            new_x = x.copy()
-            new_x[free] = engine.project_restricted(y[free], free, x[fixed])
-        else:
-            new_x = engine.project(y)
-
-        realized = float(np.linalg.norm(new_x - x))
-        controller.update(realized)
-        x = new_x
-
-        if config.vertex_fixing and iteration >= fixing_start:
-            newly_fixed = (~fixed) & (np.abs(x) >= config.fixing_threshold)
-            if newly_fixed.any():
-                x[newly_fixed] = np.where(x[newly_fixed] >= 0.0, 1.0, -1.0)
-                fixed |= newly_fixed
-
-        if config.record_history:
-            history.append(_history_record(graph, weights, relaxation, x, iteration,
-                                           realized, int(fixed.sum())))
-
-    # Final clean-up: one-shot alternating projections accumulate a residual
-    # imbalance; run convergent sweeps on the free vertices to remove it.
-    if config.final_projection_rounds > 0:
-        free = ~fixed
-        if free.any():
-            sub_region = final_region.restrict(free, x[fixed]) if fixed.any() else final_region
-            cleaner = AlternatingProjector(sub_region, one_shot=False,
-                                           use_band_center=False,
-                                           max_rounds=config.final_projection_rounds)
-            x[free] = cleaner.project_to_feasibility(x[free])
-
-    sides = randomized_round(x, rng)
-    if config.balance_repair:
-        sides = balance_repair(graph, sides, weights, epsilon, center=center)
-    partition = Partition.from_sides(graph, sides)
-
-    if config.record_history:
-        history.append(_history_record(graph, weights, relaxation, sides,
-                                       config.iterations, 0.0, int(fixed.sum())))
-
-    return BisectionResult(
-        partition=partition,
-        fractional=x,
-        history=history,
-        epsilon=epsilon,
-        config=config,
-        elapsed_seconds=time.perf_counter() - start_time,
-        projection_stats=engine.stats,
-    )
+        stepper.step(iteration)
+    return stepper.result()
 
 
 class GDPartitioner:

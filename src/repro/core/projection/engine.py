@@ -44,13 +44,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Sequence
+
 from .alternating import AlternatingProjector
 from .base import FeasibleRegion, Projector
-from .cache import RegionCache
+from .cache import FrontierCache, RegionCache
 from .dykstra import DykstraProjector
 from .exact import ExactProjector
 
-__all__ = ["ProjectionEngine", "ProjectionStats"]
+__all__ = ["BatchedProjectionEngine", "ProjectionEngine", "ProjectionStats"]
 
 
 @dataclass
@@ -87,9 +89,15 @@ class ProjectionStats:
 class _RegionState:
     """Cache + projector + warm-start state for one concrete region."""
 
-    def __init__(self, method: str, region: FeasibleRegion, use_cache: bool):
+    def __init__(self, method: str, region: FeasibleRegion, use_cache: bool,
+                 prebuilt_cache: RegionCache | None = None):
         self.region = region
-        self.cache = RegionCache(region) if use_cache else None
+        if prebuilt_cache is not None and use_cache:
+            if prebuilt_cache.region is not region:
+                raise ValueError("prebuilt cache was built for a different region")
+            self.cache = prebuilt_cache
+        else:
+            self.cache = RegionCache(region) if use_cache else None
         self.projector = _build_projector(method, region, self.cache)
         # Warm-start state (only populated when the cache is enabled).
         self.warm_lambdas: dict[int, float] | None = None
@@ -124,13 +132,22 @@ class ProjectionEngine:
         stateless projector per region, rebuilt per call for restricted
         regions — producing bit-identical outputs to the cached mode for
         d ≤ 2 and outputs agreeing to the cold solvers' tolerance beyond.
+    region_cache:
+        Optional prebuilt :class:`RegionCache` for ``region`` (must have
+        been built *for this region object*).  Used by the batched frontier
+        path, which precomputes every block's invariants in one
+        :class:`~repro.core.projection.cache.FrontierCache` pass and hands
+        them to the per-block engines instead of having each engine rebuild
+        them.  Ignored when ``cache`` is False.
     """
 
-    def __init__(self, method: str, region: FeasibleRegion, *, cache: bool = True):
+    def __init__(self, method: str, region: FeasibleRegion, *, cache: bool = True,
+                 region_cache: RegionCache | None = None):
         self._method = method
         self._cache_enabled = bool(cache)
         self._stats = ProjectionStats()
-        self._full = _RegionState(method, region, self._cache_enabled)
+        self._full = _RegionState(method, region, self._cache_enabled,
+                                  prebuilt_cache=region_cache)
         self._restricted: _RegionState | None = None
         self._restricted_free: np.ndarray | None = None
         self._restricted_fixed: np.ndarray | None = None
@@ -237,3 +254,317 @@ class ProjectionEngine:
             return x
 
         return projector.project(point)
+
+
+class BatchedProjectionEngine:
+    """Projections for a whole frontier of regions, served from one call.
+
+    The batched frontier solver (:mod:`repro.core.batched`) advances many
+    independent bisections in lock-step on one stacked iterate.  Each block
+    still has its *own* feasible region, so this engine holds one
+    :class:`ProjectionEngine` per block — all primed from a single
+    :class:`~repro.core.projection.cache.FrontierCache` pass — and exposes
+    :meth:`project_frontier`, which projects the stacked iterate of the
+    whole wave at once.
+
+    Two serving paths, chosen per method:
+
+    * **vectorized one-shot sweep** — for the paper-default
+      ``alternating_oneshot`` method, every active block is swept together
+      on a *compacted* stack holding only the free vertices: per balance
+      dimension, one tiny slice dot per block plus a single stacked
+      elementwise update, then one stacked box clip.  Blocks with fixed
+      vertices contribute their induced (restricted) region, whose
+      invariants are rebuilt only when the block's free mask changes —
+      through the very same :meth:`FeasibleRegion.restrict` construction
+      the per-block engine performs, so the numbers match to the last bit.
+      Elementwise the sweep is the exact image of the per-block sweep
+      (same dots on the same contiguous values, same scalar coefficient
+      applied per element), so the results are bit-identical to serial —
+      the fast path simply replaces W small interpreter round-trips with
+      O(1) stacked calls per dimension.
+    * **per-block engine** — every other projection method is routed
+      through its block's :class:`ProjectionEngine` exactly as the serial
+      optimizer would call it, warm starts and all.
+
+    ``cache=False`` reproduces the engine's A/B cold-start semantics on the
+    per-block path; the vectorized sweep always consumes the precomputed
+    invariants, whose values are identical to the inline recomputation
+    either way.
+    """
+
+    def __init__(self, method: str, regions: Sequence[FeasibleRegion], *,
+                 cache: bool = True):
+        self._method = method
+        self._cache_enabled = bool(cache)
+        self._frontier = FrontierCache(regions)
+        # Per-block engines serve every method except the vectorized
+        # one-shot sweep; for the sweep they would sit unused, so they are
+        # built lazily on first access.
+        self._engine_list: list[ProjectionEngine] | None = None
+        # Compacted-stack state of the vectorized sweep (lazily built).
+        # Fixed-capacity layout: block ``b``'s compacted (free-vertex)
+        # values occupy the *prefix* of its original segment
+        # ``offsets[b] : offsets[b] + free_count[b]`` in every stacked
+        # buffer, so a mask change rewrites only that block's prefix —
+        # never the whole stack.  Bytes past the prefix are stale and
+        # never read (every dot and scatter is span-limited).
+        self._sweep_counts: np.ndarray | None = None
+        self._sweep_centers: list[np.ndarray] = []
+        self._sweep_norms: list[np.ndarray] = []
+        self._sweep_masks: list[np.ndarray | None] = []
+        self._w_free: np.ndarray | None = None
+        self._point_buffer: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+        self._sweep_dot_rows: list[list[np.ndarray]] = []
+        self._sweep_restricted: list[np.ndarray | None] = []
+        self._sweep_blocks: list[int] = []
+        self._sweep_spans: list[slice] = []
+        self._sweep_all_unrestricted = True
+        self._segment_sizes = np.diff(self._frontier.offsets)
+        offsets = self._frontier.offsets
+        self._segments = [slice(int(offsets[b]), int(offsets[b + 1]))
+                          for b in range(len(self._frontier.regions))]
+        #: Blocks served by the vectorized sweep (diagnostics and tests).
+        self.vectorized_projections = 0
+        #: Blocks served through their per-block engine.
+        self.engine_projections = 0
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def engines(self) -> list[ProjectionEngine]:
+        if self._engine_list is None:
+            self._engine_list = [
+                ProjectionEngine(self._method, region, cache=self._cache_enabled,
+                                 region_cache=cache if self._cache_enabled else None)
+                for region, cache in zip(self._frontier.regions,
+                                         self._frontier.caches)
+            ]
+        return self._engine_list
+
+    @property
+    def offsets(self) -> np.ndarray:
+        return self._frontier.offsets
+
+    def project_frontier(self, y: np.ndarray, x: np.ndarray, fixed: np.ndarray,
+                         active: np.ndarray,
+                         free_counts: np.ndarray | None = None) -> np.ndarray:
+        """Project the stacked iterate ``y`` of every active block.
+
+        Parameters
+        ----------
+        y:
+            Stacked post-gradient point (left unmodified).
+        x:
+            Current stacked iterate — the fixed coordinates keep these
+            values, exactly as in the serial update.
+        fixed:
+            Stacked fixed-vertex mask.
+        active:
+            Per-block mask; inactive (converged, fully fixed) blocks keep
+            their ``x`` segment untouched.
+        free_counts:
+            Optional per-block count of free vertices (the solver already
+            tracks it); derived from ``fixed`` when omitted.
+        """
+        if self._method == "alternating_oneshot":
+            return self._sweep_compacted(y, x, fixed, active, free_counts)
+
+        new_x = x.copy()
+        offsets = self._frontier.offsets
+        engines = self.engines
+        for block in np.flatnonzero(active):
+            segment = slice(offsets[block], offsets[block + 1])
+            free = ~fixed[segment]
+            engine = engines[block]
+            if free.all():
+                new_x[segment] = engine.project(y[segment])
+            else:
+                target = new_x[segment]
+                target[free] = engine.project_restricted(
+                    y[segment][free], free, x[segment][~free])
+            self.engine_projections += 1
+        return new_x
+
+    # ------------------------------------------------------------------ #
+    # Vectorized one-shot sweep
+    # ------------------------------------------------------------------ #
+    def _rebuild_sweep_state(self, x: np.ndarray, fixed: np.ndarray,
+                             free_counts: np.ndarray) -> None:
+        """Refresh the compacted invariants of blocks whose mask changed.
+
+        Mirrors :meth:`ProjectionEngine._rebuild_restricted`: a block's
+        restricted region (the induced ``FeasibleRegion.restrict`` with the
+        fixed vertices' ±1 values) is rebuilt only on a free-mask change,
+        through the identical construction — fancy-indexed weight copy,
+        mat-vec shifted bounds — so every derived number matches the
+        serial engine's bit for bit.
+        """
+        frontier = self._frontier
+        offsets = frontier.offsets
+        num_blocks = len(frontier.regions)
+        if self._sweep_counts is None:
+            # All blocks start fully free: the compacted stack *is* the
+            # frontier weight stack, and every block uses the full-region
+            # invariants.
+            self._sweep_counts = np.diff(offsets)
+            self._w_free = frontier.weights.copy()
+            self._point_buffer = np.empty(int(offsets[-1]))
+            self._scratch = np.empty(int(offsets[-1]))
+            self._sweep_centers = [frontier.centers[:, b] for b in range(num_blocks)]
+            self._sweep_norms = [frontier.norms_squared[:, b] for b in range(num_blocks)]
+            self._sweep_masks = [None] * num_blocks
+            self._sweep_restricted = [None] * num_blocks
+            # The hyperplane *dots* must run on the very array objects the
+            # per-block sweep would use — the region's weight matrix, or
+            # the fancy-indexed restriction — because numpy's dot kernel
+            # for a strided row differs from the contiguous one by an ulp.
+            # The contiguous ``_w_free`` buffer is only safe for the
+            # elementwise update, which is layout-invariant.
+            self._sweep_dot_rows = [
+                [region.weights[j] for j in range(frontier.num_dimensions)]
+                for region in frontier.regions]
+
+        for block in np.flatnonzero(free_counts != self._sweep_counts):
+            count = int(free_counts[block])
+            if count == 0:
+                self._sweep_masks[block] = None
+                self._sweep_restricted[block] = None
+                continue
+            # Inlined FeasibleRegion.restrict: the same fancy-indexed
+            # weight copy and the same shifted-bound expressions, without
+            # constructing (and re-validating) a region object.  Fixing
+            # only shrinks the mask, so a partially free block is always
+            # a genuine restriction.
+            segment = slice(offsets[block], offsets[block + 1])
+            fixed_mask = fixed[segment]
+            region = frontier.regions[block]
+            fixed_contribution = region.weights[:, fixed_mask] @ x[segment][fixed_mask]
+            previous = self._sweep_restricted[block]
+            if previous is None:
+                restricted_weights = region.weights[:, ~fixed_mask]
+            else:
+                # Fancy-index the *previous* restriction instead of the
+                # full matrix: a copy of a copy carries the same bits, and
+                # the (d, m) advanced-indexing layout — hence the strided
+                # dot kernel — is the same either way.
+                previous_mask = self._sweep_masks[block]
+                restricted_weights = previous[:, ~fixed_mask[previous_mask]]
+            lower = region.lower - fixed_contribution
+            upper = region.upper - fixed_contribution
+            start = int(offsets[block])
+            self._w_free[:, start:start + count] = restricted_weights
+            self._sweep_centers[block] = 0.5 * (lower + upper)
+            self._sweep_norms[block] = np.array([
+                float(restricted_weights[j] @ restricted_weights[j])
+                for j in range(frontier.num_dimensions)])
+            self._sweep_masks[block] = ~fixed_mask
+            self._sweep_restricted[block] = restricted_weights
+            self._sweep_dot_rows[block] = [
+                restricted_weights[j] for j in range(frontier.num_dimensions)]
+        self._sweep_counts = free_counts.copy()
+
+        # The sweep's participation, spans and gather mode only change on a
+        # mask change, so they are derived here rather than per call.
+        self._sweep_blocks = [int(b) for b in np.flatnonzero(free_counts > 0)]
+        self._sweep_spans = [
+            slice(int(offsets[b]), int(offsets[b]) + int(free_counts[b]))
+            for b in self._sweep_blocks]
+        self._sweep_all_unrestricted = all(
+            self._sweep_masks[b] is None for b in self._sweep_blocks)
+
+    def _sweep_compacted(self, y: np.ndarray, x: np.ndarray, fixed: np.ndarray,
+                         active: np.ndarray,
+                         free_counts: np.ndarray | None) -> np.ndarray:
+        """One-shot alternating sweep of every unconverged block, vectorized.
+
+        Mirrors :meth:`AlternatingProjector._sweep` with
+        ``use_band_center=True`` on the compacted (free-vertex) stack: for
+        each dimension, project onto the band-center hyperplane; finish
+        with the box.  The per-block hyperplane coefficient is a scalar,
+        so one stacked elementwise update is bit-identical to the
+        per-block ``point - offset * weights``.  Returns the new stacked
+        iterate; fixed coordinates (and fully converged blocks) keep their
+        ``x`` values.
+        """
+        frontier = self._frontier
+        offsets = frontier.offsets
+        if free_counts is None:
+            sizes = np.diff(offsets)
+            free_counts = sizes - np.add.reduceat(
+                fixed.astype(np.int64), offsets[:-1]) if fixed.any() else sizes
+        if (self._sweep_counts is None
+                or not np.array_equal(free_counts, self._sweep_counts)):
+            self._rebuild_sweep_state(x, fixed, free_counts)
+
+        # A fully fixed block has a zero-width span of the compacted stack,
+        # so it drops out of the sweep by construction; an explicitly
+        # deactivated block with free vertices (possible for external
+        # callers — the solver only deactivates fully fixed blocks) is
+        # filtered here so its segment keeps x, as on the engine path.
+        if active.all():
+            blocks = self._sweep_blocks
+            spans = self._sweep_spans
+        else:
+            blocks, spans = [], []
+            for block, span in zip(self._sweep_blocks, self._sweep_spans):
+                if active[block]:
+                    blocks.append(block)
+                    spans.append(span)
+        if not blocks:
+            return x.copy()
+        # Before any vertex is fixed, a block's span *is* its segment, so
+        # one wholesale copy covers every unrestricted block; restricted
+        # blocks then overwrite their (prefix) span with the gathered free
+        # values.  Stale bytes past a span are never read.
+        all_unrestricted = self._sweep_all_unrestricted
+
+        current = self._point_buffer
+        np.copyto(current, y)
+        if not all_unrestricted:
+            for block, span in zip(blocks, spans):
+                mask = self._sweep_masks[block]
+                if mask is not None:
+                    current[span] = y[self._segments[block]][mask]
+
+        num_blocks = len(frontier.regions)
+        sizes = self._segment_sizes
+        scratch = self._scratch
+        for j in range(frontier.num_dimensions):
+            weight_row = self._w_free[j]
+            coefficients = np.zeros(num_blocks)
+            for block, span in zip(blocks, spans):
+                # Dot with the block's own weight rows (see the rebuild
+                # note on strided-row dot kernels).  A zero norm means the
+                # hyperplane is undefined; the serial kernel leaves the
+                # point untouched there, which a zero coefficient mirrors.
+                norm_squared = self._sweep_norms[block][j]
+                if norm_squared == 0.0:
+                    continue
+                value = float(self._sweep_dot_rows[block][j] @ current[span])
+                coefficients[block] = ((value - self._sweep_centers[block][j])
+                                       / norm_squared)
+            # current -= coeff_per_vertex * weights, elementwise in place —
+            # the same ``point - offset * weights`` as the scalar sweep.
+            np.multiply(np.repeat(coefficients, sizes), weight_row, out=scratch)
+            np.subtract(current, scratch, out=current)
+        np.clip(current, -1.0, 1.0, out=current)
+
+        if all_unrestricted and len(blocks) == num_blocks:
+            # Every coordinate was swept: the result is the buffer itself
+            # (copied out, since the buffer is reused next call).
+            new_x = current.copy()
+        else:
+            new_x = x.copy()
+            for block, span in zip(blocks, spans):
+                mask = self._sweep_masks[block]
+                if mask is None:
+                    new_x[self._segments[block]] = current[span]
+                else:
+                    target = new_x[self._segments[block]]
+                    target[mask] = current[span]
+        self.vectorized_projections += len(blocks)
+        return new_x

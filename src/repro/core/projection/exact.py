@@ -107,10 +107,16 @@ class ExactProjector(Projector):
         active: dict[int, str] = {}
         warm_guess: dict[int, float] | None = None
         if warm_lambdas:
+            # Near-zero multipliers carry no side information — they are
+            # floating-point residue of a constraint that was not really
+            # active — so seeding their sign would start the loop from an
+            # arbitrary (possibly jointly infeasible) active set.
+            cutoff = _SIGN_TOLERANCE * max(
+                1.0, max((abs(lam) for lam in warm_lambdas.values()), default=0.0))
             for j, lam in warm_lambdas.items():
-                if 0 <= j < region.num_dimensions:
+                if 0 <= j < region.num_dimensions and abs(lam) > cutoff:
                     active[j] = "upper" if lam >= 0.0 else "lower"
-            warm_guess = dict(warm_lambdas)
+            warm_guess = {j: lam for j, lam in warm_lambdas.items() if j in active}
 
         x = project_onto_box(point)
         lambdas = np.empty(0)
@@ -128,10 +134,21 @@ class ExactProjector(Projector):
                 x = project_onto_box(point)
             # KKT check: the active constraints are tight with correctly
             # signed multipliers; if no inactive constraint is violated the
-            # current point is the projection.
-            if not self._update_active_set(x, active):
-                converged = True
-                break
+            # current point is the projection.  One weighted-sums pass
+            # serves both the violation scan and the tightness check.
+            sums = region.weighted_sums(x)
+            scale = self._scales()
+            if not self._update_active_set(active, sums, scale):
+                loose = self._least_tight_active(active, sums, scale)
+                if loose is None:
+                    converged = True
+                    break
+                # The equality subsolver could not make this active set
+                # tight — a degenerate or jointly infeasible combination,
+                # typically from a wrong warm seed.  Accepting it would
+                # return a feasible but suboptimal point, so drop the
+                # least-tight constraint and re-solve instead.
+                del active[loose]
         self.last_passes = passes
 
         if converged:
@@ -159,11 +176,10 @@ class ExactProjector(Projector):
             return self._cache.scales
         return np.maximum(np.abs(self.region.weights).sum(axis=1), 1.0)
 
-    def _update_active_set(self, x: np.ndarray, active: dict[int, str]) -> bool:
+    def _update_active_set(self, active: dict[int, str], sums: np.ndarray,
+                           scale: np.ndarray) -> bool:
         """Add violated constraints to the active set; return True if changed."""
         region = self.region
-        sums = region.weighted_sums(x)
-        scale = self._scales()
         changed = False
         for j in range(region.num_dimensions):
             if j in active:
@@ -175,6 +191,28 @@ class ExactProjector(Projector):
                 active[j] = "lower"
                 changed = True
         return changed
+
+    def _least_tight_active(self, active: dict[int, str], sums: np.ndarray,
+                            scale: np.ndarray) -> int | None:
+        """The active dimension farthest from its bound, or None if all tight.
+
+        An equality solve is supposed to land every active constraint on
+        its bound; a constraint left loose means the subproblem was not
+        actually solved (degenerate system or jointly infeasible active
+        set) and must not be treated as KKT convergence.
+        """
+        if not active:
+            return None
+        region = self.region
+        worst: int | None = None
+        worst_error = self._tolerance
+        for j, side in active.items():
+            target = region.upper[j] if side == "upper" else region.lower[j]
+            error = abs(float(sums[j]) - float(target)) / float(scale[j])
+            if error > worst_error:
+                worst_error = error
+                worst = j
+        return worst
 
     def _solve_active(self, point: np.ndarray, active: dict[int, str],
                       warm_guess: dict[int, float] | None = None

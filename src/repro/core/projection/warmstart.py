@@ -124,6 +124,17 @@ def try_warm_equality_solve(y: np.ndarray, weights: np.ndarray, targets: np.ndar
         z_new = y - weights.T @ lambdas
         new_pattern = classify_pattern(z_new)
         if np.array_equal(new_pattern, pattern):
-            return lambdas
+            # A pattern fixed point only certifies region stability.  When
+            # the region's linear system is (near-)singular — e.g. the
+            # weight rows are proportional on the interior set — the solve
+            # can "succeed" numerically without actually hitting the
+            # targets, and the caller's KKT checks would then accept a
+            # feasible but non-tight (hence suboptimal) point.  Verify
+            # tightness before accepting.
+            sums = weights @ np.clip(z_new, -1.0, 1.0)
+            scale = np.maximum(np.abs(weights).sum(axis=1), 1.0)
+            if np.all(np.abs(sums - targets) <= 1e-9 * scale):
+                return lambdas
+            return None
         z, pattern = z_new, new_pattern
     return None

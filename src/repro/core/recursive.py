@@ -14,12 +14,13 @@ Scheduling
 ----------
 Instead of depth-first recursion, the recursion tree is processed as a
 *frontier* of tasks, one wave per level.  All subproblems in a wave touch
-disjoint vertex sets, so they are dispatched concurrently through
-:class:`~repro.core.executor.BisectionExecutor` — serially, on a thread
-pool, or on a process pool, selected by :attr:`GDConfig.parallelism` and
-:attr:`GDConfig.max_workers`.  Each task extracts its induced subgraph with
-:meth:`Graph.subgraph` in the coordinating process and only ships the
-(remapped) subproblem to the workers.
+disjoint vertex sets: the coordinating process materializes the whole
+wave's induced subgraphs in one pass (:meth:`Graph.subgraphs`) and hands
+the wave to :meth:`~repro.core.executor.BisectionExecutor.solve_frontier`
+— serially, on a thread pool, on a process pool, or *batched* (the whole
+wave advanced in lock-step as one vectorized block-diagonal solve by
+:class:`~repro.core.batched.BatchedFrontierSolver`), selected by
+:attr:`GDConfig.parallelism` and :attr:`GDConfig.max_workers`.
 
 Each worker's ``gd_bisect`` call constructs its own
 :class:`~repro.core.projection.ProjectionEngine` for its subproblem's
@@ -34,10 +35,10 @@ in the recursion tree — ``task_seed(config.seed, depth, first_part)`` keyed
 through :class:`numpy.random.SeedSequence` ``spawn_key`` s — never of
 execution order or of the chosen backend.  Consequently
 ``recursive_bisection(graph, w, k, eps, config)`` returns **bit-identical**
-assignments for ``parallelism`` in ``{"serial", "thread", "process"}`` and
-any ``max_workers``, given a fixed ``config.seed``.  Code that changes the
-task identity (the ``(depth, first_part)`` coordinate) changes the sampled
-partitions and must be treated as a behavioural change.
+assignments for ``parallelism`` in ``{"serial", "thread", "process",
+"batched"}`` and any ``max_workers``, given a fixed ``config.seed``.  Code
+that changes the task identity (the ``(depth, first_part)`` coordinate)
+changes the sampled partitions and must be treated as a behavioural change.
 """
 
 from __future__ import annotations
@@ -90,20 +91,31 @@ def _run_subproblem(subproblem: _Subproblem) -> np.ndarray:
     return result.partition.assignment
 
 
-def _prepare_subproblem(graph: Graph, weights: np.ndarray, task: _Task,
-                        epsilon_per_level: float, config: GDConfig) -> tuple[_Subproblem, np.ndarray]:
-    """Extract the induced subgraph for ``task`` and derive its seeded config."""
-    subgraph, mapping = graph.subgraph(task.vertex_ids)
-    sub_weights = weights[:, mapping]
-    # Seed by recursion-tree coordinate (see the deterministic-seeding
-    # contract in the module docstring); force workers to run their inner
-    # bisection serially — the frontier is the unit of parallelism.
-    sub_config = config.with_updates(
-        seed=task_seed(config.seed, task.depth, task.first_part),
-        record_history=False, parallelism="serial", max_workers=None)
-    target_fraction = ((task.num_parts + 1) // 2) / task.num_parts
-    return _Subproblem(subgraph=subgraph, weights=sub_weights, epsilon=epsilon_per_level,
-                       config=sub_config, target_fraction=target_fraction), mapping
+def _prepare_wave(graph: Graph, weights: np.ndarray, tasks: list[_Task],
+                  epsilon_per_level: float,
+                  config: GDConfig) -> list[tuple[_Subproblem, np.ndarray]]:
+    """Extract one wave's subproblems and derive their seeded configs.
+
+    The tasks of a wave cover disjoint vertex sets, so their induced
+    subgraphs are materialized in a single :meth:`Graph.subgraphs` pass —
+    shared by every execution backend (the pool backends ship the
+    subproblems to workers, the batched backend stacks them into one
+    block-diagonal solve).
+    """
+    extracted = graph.subgraphs([task.vertex_ids for task in tasks])
+    prepared: list[tuple[_Subproblem, np.ndarray]] = []
+    for task, (subgraph, mapping) in zip(tasks, extracted):
+        # Seed by recursion-tree coordinate (see the deterministic-seeding
+        # contract in the module docstring); force workers to run their inner
+        # bisection serially — the frontier is the unit of parallelism.
+        sub_config = config.with_updates(
+            seed=task_seed(config.seed, task.depth, task.first_part),
+            record_history=False, parallelism="serial", max_workers=None)
+        target_fraction = ((task.num_parts + 1) // 2) / task.num_parts
+        prepared.append((_Subproblem(subgraph=subgraph, weights=weights[:, mapping],
+                                     epsilon=epsilon_per_level, config=sub_config,
+                                     target_fraction=target_fraction), mapping))
+    return prepared
 
 
 def _expand(task: _Task, mapping: np.ndarray, local_assignment: np.ndarray) -> Iterable[_Task]:
@@ -167,10 +179,9 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
                 else:
                     pending.append(task)
 
-            prepared = [_prepare_subproblem(graph, weights, task, epsilon_per_level, config)
-                        for task in pending]
-            local_assignments = executor.map(_run_subproblem,
-                                             [subproblem for subproblem, _ in prepared])
+            prepared = _prepare_wave(graph, weights, pending, epsilon_per_level, config)
+            local_assignments = executor.solve_frontier(
+                [subproblem for subproblem, _ in prepared], _run_subproblem)
 
             frontier = [child
                         for task, (_, mapping), local in zip(pending, prepared, local_assignments)

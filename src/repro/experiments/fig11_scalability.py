@@ -9,9 +9,10 @@ through the origin.
 
 Besides the cost-model-style sweep (:func:`run`), :func:`run_parallel`
 measures the *actual* wall-clock behaviour of the parallel recursive
-bisection scheduler: one k-way partitioning per worker count, each checked
-bit for bit against the serial reference (the deterministic-seeding
-contract of :mod:`repro.core.recursive`).
+bisection scheduler: one k-way partitioning per worker count (or a single
+run for the worker-less ``batched`` backend), each checked bit for bit
+against the serial reference (the deterministic-seeding contract of
+:mod:`repro.core.recursive`).
 """
 
 from __future__ import annotations
@@ -82,8 +83,11 @@ def run_parallel(scale: float = 4.0, num_parts: int = 8,
     speedup over serial, and whether the assignment matched the serial
     reference exactly (it must, by the deterministic-seeding contract).
     Speedups > 1 require actual hardware parallelism — on a single-core
-    machine every backend degrades gracefully to roughly serial time plus
-    pool overhead.
+    machine the pool backends degrade gracefully to roughly serial time
+    plus pool overhead.  The exception is ``parallelism="batched"``: it
+    takes no workers (the whole frontier advances in lock-step as one
+    vectorized block-diagonal solve), so it is measured once and its
+    speedup comes from vectorization, not extra cores.
     """
     graph = fb_like(80, scale=scale, seed=seed)
     weights = standard_weights(graph, 2)
@@ -95,14 +99,17 @@ def run_parallel(scale: float = 4.0, num_parts: int = 8,
 
     rows = [{"backend": "serial", "workers": 1, "seconds": serial_seconds,
              "speedup": 1.0, "identical": True}]
-    for workers in worker_counts:
+    # The batched backend has no worker knob: one measurement row.
+    runs = ([(parallelism, None)] if parallelism == "batched"
+            else [(parallelism, workers) for workers in worker_counts])
+    for backend, workers in runs:
         start = time.perf_counter()
         partition = recursive_bisection(graph, weights, num_parts, epsilon, config,
-                                        parallelism=parallelism, max_workers=workers)
+                                        parallelism=backend, max_workers=workers)
         seconds = time.perf_counter() - start
         rows.append({
-            "backend": parallelism,
-            "workers": workers,
+            "backend": backend,
+            "workers": workers if workers is not None else 1,
             "seconds": seconds,
             "speedup": serial_seconds / max(seconds, 1e-9),
             "identical": bool(np.array_equal(partition.assignment,

@@ -50,10 +50,12 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
     The job speedups come from the simulated cluster's cost model; next to
     them every row carries ``partition_seconds`` — the *measured* wall-clock
     time GD spent producing that placement.  ``parallelism`` /
-    ``max_workers`` select the recursive-bisection backend, so the measured
-    column doubles as the experiment's parallel mode (the placements, and
-    hence the cost-model numbers, are backend-independent by the
-    deterministic-seeding contract).
+    ``max_workers`` select the recursive-bisection backend — including
+    ``"batched"``, whose lock-step frontier solve speeds the measured
+    column up without extra cores — so the column doubles as the
+    experiment's parallel mode (the placements, and hence the cost-model
+    numbers, are backend-independent by the deterministic-seeding
+    contract).
     """
     rows: list[dict] = []
     for label, fb_billions, num_workers in configurations:

@@ -174,6 +174,94 @@ class Graph:
                     indptr=indptr, indices=indices)
         return sub, vertex_ids
 
+    def subgraphs(self, vertex_sets: Sequence[np.ndarray | Sequence[int]]
+                  ) -> list[tuple["Graph", np.ndarray]]:
+        """Induced subgraphs of several pairwise-disjoint vertex sets.
+
+        Equivalent to ``[self.subgraph(s) for s in vertex_sets]`` — the same
+        graphs and the same sorted mappings — but the edge list is scanned
+        once for the whole collection instead of once per set.  This is the
+        wave-extraction path of the recursive-bisection scheduler: every
+        level of the recursion tree is a frontier of tasks on disjoint
+        vertex sets, and all of their subgraphs are materialized here in one
+        pass regardless of the execution backend.
+
+        Raises :class:`ValueError` if the sets overlap or contain invalid
+        vertex ids.
+        """
+        mappings = [np.unique(np.asarray(ids, dtype=np.int64)) for ids in vertex_sets]
+        owner = np.full(self.num_vertices, -1, dtype=np.int64)
+        local_id = np.zeros(self.num_vertices, dtype=np.int64)
+        for index, mapping in enumerate(mappings):
+            if mapping.size and (mapping[0] < 0 or mapping[-1] >= self.num_vertices):
+                raise ValueError("vertex id out of range")
+            if np.any(owner[mapping] != -1):
+                raise ValueError("vertex sets must be pairwise disjoint")
+            owner[mapping] = index
+            local_id[mapping] = np.arange(mapping.size)
+
+        per_set_edges: list[np.ndarray] = [np.empty((0, 2), dtype=np.int64)
+                                           for _ in mappings]
+        if self.num_edges and mappings:
+            src_owner = owner[self.edges[:, 0]]
+            # An edge is induced iff both endpoints share a (non-negative)
+            # owner; sets are disjoint, so comparing owners suffices.
+            keep = (src_owner >= 0) & (src_owner == owner[self.edges[:, 1]])
+            kept_owner = src_owner[keep]
+            kept_edges = np.column_stack([local_id[self.edges[keep, 0]],
+                                          local_id[self.edges[keep, 1]]])
+            # Stable grouping preserves each set's original edge order, so
+            # the per-set edge arrays match what Graph.subgraph would build.
+            order = np.argsort(kept_owner, kind="stable")
+            kept_owner, kept_edges = kept_owner[order], kept_edges[order]
+            boundaries = np.searchsorted(kept_owner, np.arange(len(mappings) + 1))
+            for index in range(len(mappings)):
+                per_set_edges[index] = kept_edges[boundaries[index]:boundaries[index + 1]]
+
+        results: list[tuple[Graph, np.ndarray]] = []
+        for mapping, sub_edges in zip(mappings, per_set_edges):
+            indptr, indices = self._build_csr(mapping.size, sub_edges)
+            results.append((Graph(num_vertices=int(mapping.size), edges=sub_edges,
+                                  indptr=indptr, indices=indices), mapping))
+        return results
+
+    @classmethod
+    def block_diagonal(cls, graphs: Sequence["Graph"]) -> tuple["Graph", np.ndarray]:
+        """Stack ``graphs`` into one disconnected graph (block-diagonal CSR).
+
+        Returns the stacked graph and the vertex offsets: block ``i`` owns
+        vertices ``offsets[i]:offsets[i + 1]``, and its adjacency rows are
+        the rows of ``graphs[i]`` with column ids shifted by ``offsets[i]``.
+
+        The result's adjacency matrix equals
+        ``scipy.sparse.block_diag([g.adjacency_matrix() for g in graphs])``
+        with one extra guarantee scipy's constructor does not make: each
+        row keeps its block's original neighbor *order* (scipy's CSR
+        conversion sorts column indices, which would change the summation
+        order of ``A @ x``).  Preserving the order makes the stacked
+        mat-vec reproduce every block's ``A_i @ x_i`` bit for bit — the
+        property the batched frontier solver's determinism contract rests
+        on (see :mod:`repro.core.batched`).
+        """
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("block_diagonal needs at least one graph")
+        sizes = np.array([g.num_vertices for g in graphs], dtype=np.int64)
+        offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+
+        edges = np.concatenate(
+            [g.edges + offset for g, offset in zip(graphs, offsets[:-1])])
+        indices = np.concatenate([g.indices + offset
+                                  for g, offset in zip(graphs, offsets[:-1])])
+        degrees = np.concatenate([np.diff(g.indptr) for g in graphs])
+        indptr = np.zeros(int(offsets[-1]) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+
+        stacked = cls(num_vertices=int(offsets[-1]), edges=edges,
+                      indptr=indptr, indices=indices.astype(np.int64))
+        return stacked, offsets
+
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` (for interop and testing)."""
         import networkx as nx

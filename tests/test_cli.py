@@ -23,6 +23,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_is_single_sourced_from_the_package(self):
+        """pyproject.toml must not carry its own version literal: it declares
+        ``version`` dynamic and reads ``repro.__version__``."""
+        import pathlib
+
+        import repro
+
+        tomllib = pytest.importorskip("tomllib")  # stdlib from Python 3.11
+
+        pyproject = pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        assert "version" not in data["project"]
+        assert "version" in data["project"]["dynamic"]
+        assert data["tool"]["setuptools"]["dynamic"]["version"]["attr"] == "repro.__version__"
+        assert repro.__version__
+
+    def test_parallelism_accepts_batched(self):
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--parallelism", "batched"])
+        assert args.parallelism == "batched"
+
     def test_partition_defaults(self):
         args = build_parser().parse_args(["partition", "g.txt"])
         assert args.parts == 2

@@ -1,20 +1,27 @@
 """Tests of the parallel recursive-bisection executor subsystem.
 
 The load-bearing property is the deterministic-seeding contract of
-``repro.core.recursive``: for a fixed ``GDConfig.seed`` the serial, thread
-and process backends must produce *bit-identical* assignments, because
-every subproblem's RNG seed is a pure function of its recursion-tree
-coordinate, never of scheduling order.
+``repro.core.recursive``: for a fixed ``GDConfig.seed`` the serial,
+thread, process and batched backends must produce *bit-identical*
+assignments, because every subproblem's RNG seed is a pure function of
+its recursion-tree coordinate, never of scheduling order — and the
+batched backend's stacked arithmetic is the exact image of the per-task
+arithmetic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import BisectionExecutor, GDConfig, GDPartitioner, recursive_bisection, task_seed
 from repro.graphs import Graph, fb_like, standard_weights
 from repro.partition import imbalance
+
+#: The full backend matrix of the determinism contract.
+ALL_BACKENDS = ("serial", "thread", "process", "batched")
 
 
 # --------------------------------------------------------------------- #
@@ -30,7 +37,7 @@ def test_executor_rejects_bad_worker_count():
         BisectionExecutor("thread", max_workers=0)
 
 
-@pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+@pytest.mark.parametrize("parallelism", list(ALL_BACKENDS))
 def test_executor_map_preserves_task_order(parallelism):
     with BisectionExecutor(parallelism, max_workers=2) as executor:
         results = executor.map(_square, list(range(20)))
@@ -114,10 +121,46 @@ def test_subgraph_of_empty_selection():
 def test_backends_produce_identical_partitions(social_graph, social_weights, num_parts):
     config = GDConfig(iterations=15, seed=11)
     reference = recursive_bisection(social_graph, social_weights, num_parts, 0.05, config)
-    for parallelism in ("thread", "process"):
+    for parallelism in ("thread", "process", "batched"):
         partition = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
                                         config, parallelism=parallelism, max_workers=2)
         assert np.array_equal(partition.assignment, reference.assignment), parallelism
+
+
+@pytest.mark.parametrize("num_parts", [5, 8], ids=["odd-k", "power-of-two-k"])
+@pytest.mark.parametrize("parallelism", ALL_BACKENDS)
+def test_determinism_contract_all_backends(social_graph, social_weights,
+                                           parallelism, num_parts):
+    """The acceptance matrix: every backend × odd and power-of-two k.
+
+    All four backends must return bit-identical assignments for a fixed
+    seed; re-running the same backend must also be bit-stable.
+    """
+    config = GDConfig(iterations=12, seed=29)
+    reference = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
+                                    config, parallelism="serial")
+    first = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
+                                config, parallelism=parallelism, max_workers=2)
+    second = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
+                                 config, parallelism=parallelism, max_workers=2)
+    assert np.array_equal(first.assignment, reference.assignment)
+    assert np.array_equal(second.assignment, reference.assignment)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       num_parts=st.sampled_from([3, 4, 5, 7, 8]))
+def test_batched_matches_serial_for_any_seed(seed, num_parts):
+    """Property form of the contract: the batched backend agrees with
+    serial for arbitrary seeds and part counts (odd and power-of-two)."""
+    graph = Graph.from_edges(60, [(i, (i + 1) % 60) for i in range(60)]
+                             + [(i, (i + 7) % 60) for i in range(60)])
+    weights = standard_weights(graph, 2)
+    config = GDConfig(iterations=8, seed=seed)
+    serial = recursive_bisection(graph, weights, num_parts, 0.05, config)
+    batched = recursive_bisection(graph, weights, num_parts, 0.05, config,
+                                  parallelism="batched")
+    assert np.array_equal(serial.assignment, batched.assignment)
 
 
 def test_config_knobs_equal_keyword_overrides(social_graph, social_weights):
@@ -160,6 +203,7 @@ def test_process_backend_bit_identical_on_large_graph():
     weights = standard_weights(graph, 2)
     config = GDConfig(iterations=30, seed=42)
     serial = recursive_bisection(graph, weights, 8, 0.05, config)
-    parallel = recursive_bisection(graph, weights, 8, 0.05, config,
-                                   parallelism="process", max_workers=4)
-    assert np.array_equal(serial.assignment, parallel.assignment)
+    for parallelism in ("process", "batched"):
+        parallel = recursive_bisection(graph, weights, 8, 0.05, config,
+                                       parallelism=parallelism, max_workers=4)
+        assert np.array_equal(serial.assignment, parallel.assignment), parallelism
