@@ -15,7 +15,11 @@ present in the run but missing from the baseline are reported as *new*
 (a warning, never a failure) so adding a microbenchmark does not require
 a lockstep baseline edit; baseline entries missing from the run warn the
 same way.  When ``$GITHUB_STEP_SUMMARY`` is set (as in GitHub Actions)
-the full comparison is also written there as a markdown table.
+the full comparison is also written there as a markdown table.  Every
+``check`` additionally appends one JSON line (per-benchmark medians plus
+guard statuses) to ``benchmarks/results/BENCH_history.jsonl`` — the
+append-only perf trajectory, uploaded as a CI artifact so the series
+survives ephemeral workspaces.
 
 Raw wall-clock numbers are not portable between the machine that produced
 the baseline and the CI runner, so before comparing, baseline medians are
@@ -34,11 +38,17 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
-from _util import save_json
+from _util import RESULTS_DIR, save_json
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: Append-only perf trajectory: one JSON line per ``check`` run, so the
+#: medians can be plotted across commits/runs.  CI uploads it as an
+#: artifact; locally it accumulates under ``benchmarks/results/``.
+HISTORY_PATH = RESULTS_DIR / "BENCH_history.jsonl"
 
 #: Benchmark used to rescale the baseline to the speed of the machine
 #: running the check (see module docstring).
@@ -157,6 +167,51 @@ def write_step_summary(rows: list[dict], calibration_note: str, factor: float) -
         handle.write(_markdown_table(rows, calibration_note, factor))
 
 
+def _current_commit() -> str:
+    """The commit the run measured: ``$GITHUB_SHA`` in Actions, else the
+    local HEAD, else ``"unknown"`` (e.g. outside a checkout)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        import subprocess
+
+        return subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, check=True,
+                              cwd=Path(__file__).resolve().parent
+                              ).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def append_history(distilled: dict, rows: list[dict],
+                   path: Path = HISTORY_PATH) -> Path:
+    """Append one summary line for this run to the perf trajectory.
+
+    The line carries the measured commit, the run's per-benchmark
+    medians, and each benchmark's guard status, so a later plot can join
+    entries by commit and distinguish healthy drift from regressions
+    without re-deriving the comparison.  Locally the tracked file
+    accumulates across runs; in CI each (clean) checkout contributes one
+    line, uploaded as an artifact — assembling the cross-run series
+    means concatenating the artifact lines, keyed by ``commit``.
+    """
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _current_commit(),
+        "machine": distilled.get("machine", "unknown"),
+        "python": distilled.get("python", "unknown"),
+        "medians_ms": {name: stats["median_seconds"] * 1e3
+                       for name, stats in distilled["benchmarks"].items()},
+        "statuses": {row["name"]: row["status"] for row in rows},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"[history appended to {path}]")
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -189,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     rows, failures, calibration_note = compare(distilled, baseline, args.factor)
     write_step_summary(rows, calibration_note, args.factor)
+    append_history(distilled, rows)
     if failures:
         print("\nperf regression detected:", file=sys.stderr)
         for line in failures:

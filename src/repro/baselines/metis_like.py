@@ -23,25 +23,16 @@ constraints balanced simultaneously — the behaviour Table 3 reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 from scipy import sparse
 
+from ..graphs import coarsening
+from ..graphs.coarsening import CoarseLevel, CoarseningHierarchy
 from ..graphs.graph import Graph
 from ..partition.partition import Partition
 from .base import Partitioner
 
 __all__ = ["MetisLikePartitioner"]
-
-
-@dataclass
-class _Level:
-    """One level of the multilevel hierarchy."""
-
-    adjacency: sparse.csr_matrix          # weighted, symmetric, zero diagonal
-    vertex_weights: np.ndarray            # (d, n_level)
-    fine_to_coarse: np.ndarray | None     # mapping from the finer level
 
 
 class MetisLikePartitioner(Partitioner):
@@ -117,67 +108,35 @@ class MetisLikePartitioner(Partitioner):
         return sides
 
     def _coarsen(self, adjacency: sparse.csr_matrix, weights: np.ndarray,
-                 rng: np.random.Generator) -> list[_Level]:
-        levels = [_Level(adjacency=adjacency, vertex_weights=weights, fine_to_coarse=None)]
-        while levels[-1].adjacency.shape[0] > self._coarsest_size:
-            current = levels[-1]
-            matching = self._heavy_edge_matching(current.adjacency, rng)
-            coarse = self._contract(current, matching)
-            if coarse.adjacency.shape[0] >= 0.95 * current.adjacency.shape[0]:
-                break  # coarsening stalled (e.g. star graphs)
-            levels.append(coarse)
-        return levels
+                 rng: np.random.Generator) -> list[CoarseLevel]:
+        # The shared hierarchy builder reproduces this class's historical
+        # private loop exactly — same sequential matching (and hence the
+        # same rng consumption), same stall rule, same contraction
+        # numbering — so baseline outputs stay bit-stable per seed.
+        hierarchy = CoarseningHierarchy.build(
+            adjacency, weights, coarsest_size=self._coarsest_size, rng=rng,
+            matching="sequential")
+        return hierarchy.levels
 
     @staticmethod
     def _heavy_edge_matching(adjacency: sparse.csr_matrix,
                              rng: np.random.Generator) -> np.ndarray:
-        """Return for every vertex its match (possibly itself)."""
-        n = adjacency.shape[0]
-        match = np.full(n, -1, dtype=np.int64)
-        indptr, indices, data = adjacency.indptr, adjacency.indices, adjacency.data
-        for vertex in rng.permutation(n):
-            if match[vertex] != -1:
-                continue
-            start, end = indptr[vertex], indptr[vertex + 1]
-            best_neighbor, best_weight = -1, -np.inf
-            for neighbor, weight in zip(indices[start:end], data[start:end]):
-                if neighbor != vertex and match[neighbor] == -1 and weight > best_weight:
-                    best_neighbor, best_weight = neighbor, weight
-            if best_neighbor >= 0:
-                match[vertex] = best_neighbor
-                match[best_neighbor] = vertex
-            else:
-                match[vertex] = vertex
-        return match
+        """Return for every vertex its match (possibly itself).
+
+        Thin wrapper over :func:`repro.graphs.coarsening.heavy_edge_matching`
+        (the historical private implementation, promoted verbatim).
+        """
+        return coarsening.heavy_edge_matching(adjacency, rng)
 
     @staticmethod
-    def _contract(level: _Level, matching: np.ndarray) -> _Level:
-        n = level.adjacency.shape[0]
-        fine_to_coarse = np.full(n, -1, dtype=np.int64)
-        next_id = 0
-        for vertex in range(n):
-            if fine_to_coarse[vertex] != -1:
-                continue
-            partner = matching[vertex]
-            fine_to_coarse[vertex] = next_id
-            if partner != vertex:
-                fine_to_coarse[partner] = next_id
-            next_id += 1
-
-        num_coarse = next_id
-        projection = sparse.csr_matrix(
-            (np.ones(n), (np.arange(n), fine_to_coarse)), shape=(n, num_coarse))
-        coarse_adjacency = (projection.T @ level.adjacency @ projection).tocsr()
-        coarse_adjacency.setdiag(0)
-        coarse_adjacency.eliminate_zeros()
-        coarse_weights = level.vertex_weights @ projection
-        return _Level(adjacency=coarse_adjacency, vertex_weights=np.asarray(coarse_weights),
-                      fine_to_coarse=fine_to_coarse)
+    def _contract(level: CoarseLevel, matching: np.ndarray) -> CoarseLevel:
+        """Thin wrapper over :func:`repro.graphs.coarsening.contract`."""
+        return coarsening.contract(level.adjacency, level.vertex_weights, matching)
 
     # ------------------------------------------------------------------ #
     # Initial partitioning and refinement
     # ------------------------------------------------------------------ #
-    def _initial_bisection(self, level: _Level, fraction: float,
+    def _initial_bisection(self, level: CoarseLevel, fraction: float,
                            rng: np.random.Generator) -> np.ndarray:
         """Greedy region growing, best of several seeds (cut-wise)."""
         n = level.adjacency.shape[0]
@@ -216,7 +175,7 @@ class MetisLikePartitioner(Partitioner):
         crossing = sides[coo.row] != sides[coo.col]
         return float(coo.data[crossing].sum()) / 2.0
 
-    def _refine(self, level: _Level, sides: np.ndarray, fraction: float) -> np.ndarray:
+    def _refine(self, level: CoarseLevel, sides: np.ndarray, fraction: float) -> np.ndarray:
         """FM-style boundary refinement with multi-constraint balance checks.
 
         Each pass first runs a *balance phase* (moves that reduce the worst

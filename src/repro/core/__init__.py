@@ -14,6 +14,8 @@ from .gd import (
     gd_bisect,
 )
 from .batched import BatchedFrontierSolver, FrontierStats, FrontierTask
+from .compaction import FreeVertexSystem
+from .multilevel import build_hierarchy, multilevel_bisect, refinement_config
 from .recursive import recursive_bisection
 from .multiway import MultiwayResult, gd_multiway, project_rows_to_simplex
 from .projection import (
@@ -53,6 +55,10 @@ __all__ = [
     "BatchedFrontierSolver",
     "FrontierStats",
     "FrontierTask",
+    "FreeVertexSystem",
+    "build_hierarchy",
+    "multilevel_bisect",
+    "refinement_config",
     "recursive_bisection",
     "MultiwayResult",
     "gd_multiway",

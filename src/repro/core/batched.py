@@ -60,7 +60,7 @@ from ..graphs.graph import Graph
 from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_weights
 from .config import GDConfig
-from .gd import bisection_regions, finalize_bisection
+from .gd import bisection_regions, finalize_bisection, gd_bisect
 from .noise import BatchedNoiseSchedule, NoiseSchedule
 from .projection import BatchedProjectionEngine
 from .relaxation import QuadraticRelaxation
@@ -95,6 +95,9 @@ class FrontierStats:
     dropped_early: int = 0
     vectorized_projections: int = 0
     engine_projections: int = 0
+    #: Tasks advanced per task instead of in lock-step (multilevel-sized
+    #: subgraphs, or any task under ``config.compaction``).
+    solo_tasks: int = 0
 
 
 @dataclass(frozen=True)
@@ -144,7 +147,21 @@ class BatchedFrontierSolver:
     # ------------------------------------------------------------------ #
     def solve(self) -> list[np.ndarray]:
         """Bisect every task; returns one local 0/1 assignment per task,
-        in task order (empty arrays for empty subgraphs)."""
+        in task order (empty arrays for empty subgraphs).
+
+        Tasks whose serial solve would not be the plain stacked iteration
+        — multilevel-sized subgraphs when ``config.multilevel`` is set
+        (the V-cycle's per-task hierarchies have no common level
+        structure to stack), and every task when ``config.compaction`` is
+        set (the stacked loop has no compacted path) — are advanced *per
+        task* through ``gd_bisect``, i.e. byte-for-byte the serial
+        backend's code, keeping the cross-backend determinism contract.
+        The remaining tasks (with ``multilevel``: the at-most-
+        ``coarsest_size`` subproblems of the deeper recursion waves,
+        where the V-cycle is a no-op and batching shines) run in
+        lock-step as before.
+        """
+        config = self._tasks[0].config
         results: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(self._tasks)
         blocks: list[_Block] = []
         for index, task in enumerate(self._tasks):
@@ -157,6 +174,14 @@ class BatchedFrontierSolver:
                 raise ValueError("target_fraction must be strictly between 0 and 1")
             if task.subgraph.num_vertices == 0:
                 results[index] = np.empty(0, dtype=np.int64)
+                continue
+            if (config.compaction
+                    or (config.multilevel
+                        and task.subgraph.num_vertices > config.coarsest_size)):
+                results[index] = gd_bisect(
+                    task.subgraph, weights, epsilon, task.config,
+                    task.target_fraction).partition.assignment
+                self.stats.solo_tasks += 1
                 continue
             blocks.append(_Block(
                 index=index,

@@ -102,6 +102,38 @@ class GDConfig:
         Worker count for the thread/process backends; ``None`` lets
         :mod:`concurrent.futures` pick a machine-dependent default.
         Ignored when ``parallelism`` is ``"serial"`` or ``"batched"``.
+    multilevel:
+        Solve each bisection through the multilevel V-cycle
+        (:mod:`repro.core.multilevel`): coarsen the graph by heavy-edge
+        matching down to ``coarsest_size`` vertices, run the full GD
+        iteration budget there, then prolongate the fractional iterate
+        level by level with a short warm-started refinement at each
+        level.  Off by default — the flat path's outputs are unchanged.
+        Bisections no larger than ``coarsest_size`` run flat even when
+        enabled.
+    coarsest_size:
+        Vertex count at which coarsening stops (the size of the graph
+        the full GD budget runs on).  Smaller values coarsen more
+        aggressively (faster, more reliant on refinement); larger values
+        spend more time on the exact solve.  Only read when
+        ``multilevel`` is True.
+    refinement_iterations:
+        GD iterations of each per-level refinement pass of the V-cycle.
+        Refinement starts from the prolongated iterate (no fresh noise,
+        vertex fixing active immediately, step target rescaled to the
+        level's free-vertex count), so a handful of iterations suffices.
+    compaction:
+        Compact the per-iteration hot loop around fixed vertices: once
+        vertices freeze, the gradient mat-vec and iterate updates run on
+        an incrementally restricted free-vertex CSR system with the
+        fixed vertices folded into a constant boundary term
+        (:mod:`repro.core.compaction`), instead of full-size arrays
+        masked after the fact.  Mathematically equivalent, but the
+        reordered floating-point sums mean outputs can differ from the
+        masked path in the last bits — hence opt-in for flat GD.  The
+        multilevel refinement passes (majority-fixed by construction)
+        always compact.  With ``parallelism="batched"`` compacted tasks
+        are advanced per task rather than in lock-step.
     """
 
     iterations: int = 100
@@ -121,6 +153,10 @@ class GDConfig:
     seed: int = 0
     parallelism: str = "serial"
     max_workers: int | None = None
+    multilevel: bool = False
+    coarsest_size: int = 512
+    refinement_iterations: int = 10
+    compaction: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -143,6 +179,10 @@ class GDConfig:
                              f"got {self.parallelism!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1 when given")
+        if self.coarsest_size < 8:
+            raise ValueError("coarsest_size must be at least 8")
+        if self.refinement_iterations < 1:
+            raise ValueError("refinement_iterations must be at least 1")
 
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""

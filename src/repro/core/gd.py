@@ -45,6 +45,7 @@ from ..graphs.graph import Graph
 from ..partition.metrics import edge_locality, max_imbalance
 from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_weights
+from .compaction import FreeVertexSystem
 from .config import GDConfig
 from .noise import NoiseSchedule
 from .projection import (
@@ -70,7 +71,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """Per-iteration diagnostics (used by the convergence figures)."""
+    """Per-iteration diagnostics (used by the convergence figures).
+
+    ``level`` is the multilevel V-cycle level the iteration ran on (0 =
+    the input graph; larger = coarser).  Flat GD records only level 0,
+    so the fig8/fig9 step-length and convergence plots keep their
+    meaning; multilevel histories can be split per level.
+    """
 
     iteration: int
     edge_locality_pct: float
@@ -78,6 +85,7 @@ class IterationRecord:
     step_length: float
     num_fixed: int
     objective: float
+    level: int = 0
 
 
 @dataclass(frozen=True)
@@ -95,7 +103,7 @@ class BisectionResult:
 
 def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRelaxation,
                     x: np.ndarray, iteration: int, step_length: float,
-                    num_fixed: int) -> IterationRecord:
+                    num_fixed: int, level: int = 0) -> IterationRecord:
     sides = deterministic_round(x)
     snapshot = Partition.from_sides(graph, sides)
     return IterationRecord(
@@ -105,6 +113,7 @@ def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRela
         step_length=step_length,
         num_fixed=num_fixed,
         objective=relaxation.objective(x),
+        level=level,
     )
 
 
@@ -170,10 +179,31 @@ class BisectionStepper:
     what keeps the serial and batched paths bit-identical.
 
     Requires a non-empty graph (``gd_bisect`` short-circuits ``n == 0``).
+
+    Multilevel hooks
+    ----------------
+    ``initial_x`` / ``initial_fixed`` start the iterate (and the fixed
+    mask) from a prolongated coarse solution instead of all-zeros;
+    ``warm_lambdas`` seeds the projection engine's warm-start multipliers
+    from the previous level's final state; ``adjacency`` overrides the
+    relaxation operator with the level's edge-weighted matrix; ``level``
+    tags the history records.  When an initial fixed mask is given the
+    step-length target is rescaled to the *free* vertex count — the
+    distance a refinement pass may still travel is ``O(√free)``, not
+    ``O(√n)`` (the coarse levels already placed the fixed mass).
+
+    With ``config.compaction`` the iteration switches to a compacted
+    free-vertex system (:class:`~repro.core.compaction.FreeVertexSystem`)
+    as soon as any vertex is fixed; see the config field's docstring for
+    the (ulp-level) output caveat.
     """
 
     def __init__(self, graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
-                 config: GDConfig | None = None, target_fraction: float = 0.5):
+                 config: GDConfig | None = None, target_fraction: float = 0.5,
+                 *, initial_x: np.ndarray | None = None,
+                 initial_fixed: np.ndarray | None = None,
+                 warm_lambdas: dict[int, float] | None = None,
+                 adjacency=None, level: int = 0):
         # Clock starts here so BisectionResult.elapsed_seconds keeps its
         # pre-refactor meaning: construction (relaxation, regions, engine)
         # counts, as it did inside the old monolithic gd_bisect.
@@ -191,22 +221,41 @@ class BisectionStepper:
         self.epsilon = epsilon
         self.config = config
         self.target_fraction = target_fraction
+        self.level = level
 
         n = graph.num_vertices
         self.rng = np.random.default_rng(config.seed)
         self.history: list[IterationRecord] = []
-        self.relaxation = QuadraticRelaxation(graph)
+        self.relaxation = QuadraticRelaxation(graph, adjacency=adjacency)
         self.region, self.final_region, self.center = bisection_regions(
             weights, epsilon, config, target_fraction)
 
         self.noise = NoiseSchedule(n, std=config.noise_std,
                                    every_iteration=config.noise_every_iteration,
                                    rng=self.rng)
-        step_target = target_step_length(n, config.iterations, config.step_length_factor)
+
+        if initial_x is not None:
+            initial_x = np.array(initial_x, dtype=np.float64)
+            if initial_x.shape != (n,):
+                raise ValueError("initial_x must have one entry per vertex")
+            self.x = initial_x
+        else:
+            self.x = np.zeros(n)
+        if initial_fixed is not None:
+            initial_fixed = np.array(initial_fixed, dtype=bool)
+            if initial_fixed.shape != (n,):
+                raise ValueError("initial_fixed must have one entry per vertex")
+            self.fixed = initial_fixed
+        else:
+            self.fixed = np.zeros(n, dtype=bool)
+
+        # Step target over the vertices that can still move: √n for a cold
+        # start, √free for a warm (multilevel-refinement) start.
+        free_count = int(n - self.fixed.sum())
+        step_target = target_step_length(max(free_count, 1), config.iterations,
+                                         config.step_length_factor)
         self.controller = StepSizeController(step_target, adaptive=config.adaptive_step)
 
-        self.x = np.zeros(n)
-        self.fixed = np.zeros(n, dtype=bool)
         self.fixing_start = int(config.fixing_start_fraction * config.iterations)
         # One engine per bisection: the feasible region (and hence every
         # cached weight invariant) is constant across iterations, and
@@ -216,6 +265,14 @@ class BisectionStepper:
         # crosses the pickle boundary.
         self.engine = ProjectionEngine(config.projection, self.region,
                                        cache=config.projection_cache)
+        if warm_lambdas:
+            self.engine.seed_warm_lambdas(warm_lambdas)
+
+        self._compact: FreeVertexSystem | None = None
+        self._compact_projection_ready = False
+        if config.compaction and self.fixed.any() and not self.fixed.all():
+            self._compact = FreeVertexSystem(self.relaxation.adjacency,
+                                             self.fixed, self.x)
 
     @property
     def converged(self) -> bool:
@@ -226,6 +283,18 @@ class BisectionStepper:
         """Run one noise/gradient/projection iteration; returns the
         realized (post-projection) Euclidean step length."""
         config = self.config
+        if config.compaction:
+            if self.converged:
+                # Nothing can move; skip the work (and the noise draw —
+                # acceptable because compaction already waives bit-parity
+                # with the masked path).
+                if config.record_history:
+                    self.history.append(_history_record(
+                        self.graph, self.weights, self.relaxation, self.x,
+                        iteration, 0.0, int(self.fixed.sum()), self.level))
+                return 0.0
+            if self._compact is not None:
+                return self._step_compacted(iteration)
         free = ~self.fixed
         z = self.x.copy()
         z[free] += self.noise.sample(iteration)[free]
@@ -251,11 +320,76 @@ class BisectionStepper:
             if newly_fixed.any():
                 self.x[newly_fixed] = np.where(self.x[newly_fixed] >= 0.0, 1.0, -1.0)
                 self.fixed |= newly_fixed
+                if config.compaction and not self.fixed.all():
+                    # First fixing event under compaction: switch the
+                    # remaining iterations to the restricted system.
+                    self._compact = FreeVertexSystem(self.relaxation.adjacency,
+                                                     self.fixed, self.x)
 
         if config.record_history:
             self.history.append(_history_record(self.graph, self.weights,
                                                 self.relaxation, self.x, iteration,
-                                                realized, int(self.fixed.sum())))
+                                                realized, int(self.fixed.sum()),
+                                                self.level))
+        return realized
+
+    def _step_compacted(self, iteration: int) -> float:
+        """One iteration on the compacted free-vertex system.
+
+        Mirrors :meth:`step` with the gradient, iterate updates, norms
+        *and the projection's restricted-region maintenance* confined to
+        the free coordinates — every per-iteration cost is O(free
+        vertices + free edges), never O(n).  The fixed vertices'
+        gradient contribution enters through the system's constant
+        boundary term; fixing events narrow the projection state
+        incrementally (:meth:`ProjectionEngine.narrow_restricted`).
+        """
+        config = self.config
+        compact = self._compact
+        free_ids = compact.free_ids
+        x_free = self.x[free_ids]
+
+        if iteration == 0 or self.noise.every_iteration:
+            z = x_free + self.noise.sample(iteration)[free_ids]
+        else:
+            # The schedule would return all-zeros (drawing nothing from
+            # the RNG); skip the O(n) allocation and the no-op add.
+            z = x_free
+        gradient = compact.gradient(z)
+        gamma = self.controller.step_size(gradient)
+        y = z + gamma * gradient
+
+        if self.engine.cache_enabled:
+            if not self._compact_projection_ready:
+                self.engine.begin_compacted(~self.fixed, self.x[self.fixed])
+                self._compact_projection_ready = True
+            new_free = self.engine.project_compacted(y)
+        else:
+            # Cache disabled (A/B cold-start mode): fall back to the
+            # stateless restricted path, rebuilt per call as always.
+            new_free = self.engine.project_restricted(y, ~self.fixed,
+                                                      self.x[self.fixed])
+
+        delta = new_free - x_free
+        realized = float(np.sqrt(delta @ delta))
+        self.controller.update(realized)
+        self.x[free_ids] = new_free
+
+        if config.vertex_fixing and iteration >= self.fixing_start:
+            newly_fixed = np.abs(new_free) >= config.fixing_threshold
+            if newly_fixed.any():
+                snapped = np.where(new_free[newly_fixed] >= 0.0, 1.0, -1.0)
+                self.x[free_ids[newly_fixed]] = snapped
+                self.fixed[free_ids[newly_fixed]] = True
+                compact.fix(newly_fixed, snapped)
+                if self._compact_projection_ready:
+                    self.engine.narrow_restricted(~newly_fixed, snapped)
+
+        if config.record_history:
+            self.history.append(_history_record(self.graph, self.weights,
+                                                self.relaxation, self.x, iteration,
+                                                realized, int(self.fixed.sum()),
+                                                self.level))
         return realized
 
     def result(self) -> BisectionResult:
@@ -270,7 +404,7 @@ class BisectionStepper:
             self.history.append(_history_record(self.graph, self.weights,
                                                 self.relaxation, sides,
                                                 config.iterations, 0.0,
-                                                int(self.fixed.sum())))
+                                                int(self.fixed.sum()), self.level))
 
         return BisectionResult(
             partition=partition,
@@ -285,7 +419,10 @@ class BisectionStepper:
 
 def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
               config: GDConfig | None = None,
-              target_fraction: float = 0.5) -> BisectionResult:
+              target_fraction: float = 0.5, *,
+              initial_x: np.ndarray | None = None,
+              initial_fixed: np.ndarray | None = None,
+              warm_lambdas: dict[int, float] | None = None) -> BisectionResult:
     """Partition ``graph`` into two parts balanced along every weight row.
 
     Parameters
@@ -298,14 +435,28 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
     epsilon:
         Allowed relative imbalance of the final partition.
     config:
-        Algorithm parameters; defaults to :class:`GDConfig()`.
+        Algorithm parameters; defaults to :class:`GDConfig()`.  With
+        ``config.multilevel`` the bisection runs as a coarsen–solve–refine
+        V-cycle (:func:`repro.core.multilevel.multilevel_bisect`) whenever
+        the graph is larger than ``config.coarsest_size``.
     target_fraction:
         Fraction of each weight dimension that part ``V₁`` should receive
         (0.5 for an even split).  Used by recursive partitioning into a
         number of parts that is not a power of two.
+    initial_x, initial_fixed, warm_lambdas:
+        Optional warm start — an initial iterate, fixed-vertex mask, and
+        projection-engine multipliers (see :class:`BisectionStepper`).
+        A warm-started call always runs flat: the V-cycle is what
+        produces such states.
     """
     config = config if config is not None else GDConfig()
     epsilon = validate_epsilon(epsilon)
+
+    if (config.multilevel and initial_x is None and initial_fixed is None
+            and graph.num_vertices > config.coarsest_size):
+        from .multilevel import multilevel_bisect  # local import avoids a cycle
+
+        return multilevel_bisect(graph, weights, epsilon, config, target_fraction)
 
     if graph.num_vertices == 0:
         start_time = time.perf_counter()
@@ -317,7 +468,9 @@ def gd_bisect(graph: Graph, weights: np.ndarray, epsilon: float = 0.05,
                                epsilon=epsilon, config=config,
                                elapsed_seconds=time.perf_counter() - start_time)
 
-    stepper = BisectionStepper(graph, weights, epsilon, config, target_fraction)
+    stepper = BisectionStepper(graph, weights, epsilon, config, target_fraction,
+                               initial_x=initial_x, initial_fixed=initial_fixed,
+                               warm_lambdas=warm_lambdas)
     for iteration in range(config.iterations):
         stepper.step(iteration)
     return stepper.result()

@@ -176,6 +176,28 @@ class ProjectionEngine:
                 state.warm_lambdas = None
                 state.corrections = None
 
+    def seed_warm_lambdas(self, lambdas: dict[int, float]) -> None:
+        """Seed the exact projector's warm multipliers from external state.
+
+        Multipliers are indexed by balance dimension, so a warm state
+        exported from *another* engine — e.g. the previous level of the
+        multilevel V-cycle, whose region has a different vertex count but
+        the same dimensions — is a valid warm guess here.  Wrong guesses
+        are detected and corrected by the usual KKT rules, so seeding can
+        change the solve path but never the answer.  A no-op when the
+        cache is disabled or the method keeps no multiplier state.
+        """
+        if self._cache_enabled and lambdas:
+            self._full.warm_lambdas = dict(lambdas)
+
+    def export_warm_lambdas(self) -> dict[int, float] | None:
+        """The most recent solve's multipliers (restricted state preferred),
+        for seeding another engine; ``None`` when there is nothing warm."""
+        for state in (self._restricted, self._full):
+            if state is not None and state.warm_lambdas:
+                return dict(state.warm_lambdas)
+        return None
+
     # ------------------------------------------------------------------ #
     def project(self, point: np.ndarray) -> np.ndarray:
         """Project onto the full region, warm-starting from the last call."""
@@ -208,11 +230,75 @@ class ProjectionEngine:
         return self._project_with(self._restricted, point)
 
     # ------------------------------------------------------------------ #
+    # Compacted (incremental) restricted projections
+    #
+    # ``project_restricted`` rebuilds its state from the *full* region on
+    # every mask change — an O(n · d) construction that the flat path
+    # keeps for bit-compatibility with its historical outputs.  The
+    # compacted stepper (``GDConfig.compaction``) instead narrows the
+    # current restricted state in place: O(free) per fixing event, never
+    # O(n).  Numerically this subtracts the newly fixed contribution from
+    # the already-shifted bounds instead of re-deriving them from the full
+    # region — same mathematical value, different float summation order,
+    # which compaction's contract already allows.
+    # ------------------------------------------------------------------ #
+    def begin_compacted(self, free: np.ndarray, fixed_values: np.ndarray) -> None:
+        """Build the restricted state once for a compacted stepping run."""
+        if not self._cache_enabled:
+            raise RuntimeError("compacted projections require the cache")
+        self._rebuild_restricted(np.asarray(free, dtype=bool),
+                                 np.asarray(fixed_values, dtype=np.float64))
+
+    def narrow_restricted(self, surviving: np.ndarray,
+                          newly_fixed_values: np.ndarray) -> None:
+        """Narrow the current restricted region after a fixing event.
+
+        ``surviving`` masks the *current restricted coordinates* that stay
+        free; ``newly_fixed_values`` are the snapped values of the dropped
+        coordinates (aligned with ``~surviving``).  Warm state carries
+        over exactly as in :meth:`_rebuild_restricted`.
+        """
+        previous = self._restricted
+        if previous is None:
+            raise RuntimeError("narrow_restricted requires begin_compacted first")
+        surviving = np.asarray(surviving, dtype=bool)
+        region = previous.region
+        newly_contribution = (region.weights[:, ~surviving]
+                              @ np.asarray(newly_fixed_values, dtype=np.float64))
+        narrowed = FeasibleRegion(weights=region.weights[:, surviving],
+                                  lower=region.lower - newly_contribution,
+                                  upper=region.upper - newly_contribution)
+        state = _RegionState(self._method, narrowed, use_cache=True)
+        state.warm_lambdas = previous.warm_lambdas
+        if previous.corrections is not None:
+            state.corrections = [c[surviving] for c in previous.corrections]
+        self._restricted = state
+        # The global free-mask bookkeeping is no longer coherent with the
+        # narrowed state; drop it so a later project_restricted call
+        # rebuilds from the full region instead of trusting stale masks.
+        self._restricted_free = None
+        self._restricted_fixed = None
+        self._stats.region_rebuilds += 1
+
+    def project_compacted(self, point: np.ndarray) -> np.ndarray:
+        """Project onto the current (incrementally narrowed) restricted
+        region; ``point`` holds the free coordinates only."""
+        if self._restricted is None:
+            raise RuntimeError("project_compacted requires begin_compacted first")
+        return self._project_with(self._restricted, point)
+
+    # ------------------------------------------------------------------ #
     def _rebuild_restricted(self, free: np.ndarray, fixed_values: np.ndarray) -> None:
         previous = self._restricted
         previous_free = self._restricted_free
         state = _RegionState(self._method, self.region.restrict(free, fixed_values),
                              use_cache=True)
+        if previous is None:
+            # First restriction of this engine: the full region's
+            # multipliers (possibly seeded from a coarser level) are the
+            # best available guess — restriction leaves the dimension
+            # indexing untouched.
+            state.warm_lambdas = self._full.warm_lambdas
         if previous is not None and previous_free is not None:
             # Multipliers are indexed by balance dimension, which restriction
             # leaves untouched — carry them over as warm guesses.

@@ -28,6 +28,14 @@ feasible region, so the projection caches and warm-start state are local
 to the worker — nothing stateful crosses the pickle boundary, and the
 engine's results are independent of the execution backend.
 
+The multilevel V-cycle (:attr:`GDConfig.multilevel`) and the compacted
+hot loop (:attr:`GDConfig.compaction`) compose with every backend
+through the same config plumbing: each subproblem's ``gd_bisect`` routes
+itself (tasks at or below ``coarsest_size`` run flat), and the batched
+backend advances exactly those tasks per task whose serial solve would
+not be the plain stacked iteration — so the deterministic-seeding
+contract below holds for the new modes unchanged.
+
 Deterministic-seeding contract
 ------------------------------
 The RNG seed of every subproblem is a pure function of the task's position

@@ -19,7 +19,16 @@ __all__ = ["BatchedStepSizeController", "StepSizeController", "target_step_lengt
 
 
 def target_step_length(num_vertices: int, iterations: int, factor: float = 2.0) -> float:
-    """The paper's step-length target ``factor * sqrt(n) / iterations``."""
+    """The paper's step-length target ``factor * sqrt(n) / iterations``.
+
+    ``num_vertices`` must be the count of vertices that can actually
+    move: a cold-started bisection passes its full ``n``, while the
+    multilevel V-cycle's warm-started refinement passes the *free*
+    vertex count of their level — the distance left to travel from a
+    prolongated iterate is ``O(√free)``, and deriving the target from
+    the original ``n`` would overshoot the boundary vertices by orders
+    of magnitude (see :class:`~repro.core.gd.BisectionStepper`).
+    """
     if iterations < 1:
         raise ValueError("iterations must be at least 1")
     return factor * np.sqrt(max(num_vertices, 1)) / iterations

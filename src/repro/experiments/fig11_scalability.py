@@ -50,13 +50,20 @@ def linear_fit_r_squared(edge_counts: np.ndarray, times: np.ndarray) -> float:
 
 
 def run(scales: tuple[float, ...] = DEFAULT_SCALES, seed: int = 0,
-        iterations: int = 50, epsilon: float = 0.05) -> dict:
-    """Time GD bisection on FB-like graphs of growing size."""
+        iterations: int = 50, epsilon: float = 0.05,
+        multilevel: bool = False, compaction: bool = False) -> dict:
+    """Time GD bisection on FB-like graphs of growing size.
+
+    ``multilevel`` / ``compaction`` time the V-cycle pipeline / the
+    compacted hot loop instead of the flat masked path — the near-linear
+    dependence on ``|E|`` holds for all three.
+    """
     rows: list[dict] = []
     for scale in scales:
         graph = fb_like(80, scale=scale, seed=seed)
         weights = standard_weights(graph, 2)
-        config = GDConfig(iterations=iterations, seed=seed)
+        config = GDConfig(iterations=iterations, seed=seed,
+                          multilevel=multilevel, compaction=compaction)
         result = gd_bisect(graph, weights, epsilon, config)
         rows.append({
             "scale": scale,
@@ -75,7 +82,8 @@ def run(scales: tuple[float, ...] = DEFAULT_SCALES, seed: int = 0,
 def run_parallel(scale: float = 4.0, num_parts: int = 8,
                  worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
                  parallelism: str = "process", seed: int = 0,
-                 iterations: int = 30, epsilon: float = 0.05) -> dict:
+                 iterations: int = 30, epsilon: float = 0.05,
+                 multilevel: bool = False) -> dict:
     """Measured-parallel mode: k-way partitioning time vs worker count.
 
     Runs the serial scheduler once as the reference, then the ``parallelism``
@@ -87,11 +95,14 @@ def run_parallel(scale: float = 4.0, num_parts: int = 8,
     plus pool overhead.  The exception is ``parallelism="batched"``: it
     takes no workers (the whole frontier advances in lock-step as one
     vectorized block-diagonal solve), so it is measured once and its
-    speedup comes from vectorization, not extra cores.
+    speedup comes from vectorization, not extra cores.  ``multilevel``
+    runs the comparison with the V-cycle pipeline on — coarsening
+    composes with every backend, and the bit-identical check still holds
+    (multilevel-sized tasks are advanced per task on every backend).
     """
     graph = fb_like(80, scale=scale, seed=seed)
     weights = standard_weights(graph, 2)
-    config = GDConfig(iterations=iterations, seed=seed)
+    config = GDConfig(iterations=iterations, seed=seed, multilevel=multilevel)
 
     start = time.perf_counter()
     reference = recursive_bisection(graph, weights, num_parts, epsilon, config)

@@ -44,7 +44,8 @@ CONFIGURATIONS = (
 def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
         applications: tuple[str, ...] = ("PR", "CC", "MF", "HC"),
         configurations=CONFIGURATIONS, parallelism: str = "serial",
-        max_workers: int | None = None) -> list[dict]:
+        max_workers: int | None = None, multilevel: bool = False,
+        compaction: bool = False) -> list[dict]:
     """One row per (application, configuration, partitioning mode).
 
     The job speedups come from the simulated cluster's cost model; next to
@@ -55,7 +56,10 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
     column up without extra cores — so the column doubles as the
     experiment's parallel mode (the placements, and hence the cost-model
     numbers, are backend-independent by the deterministic-seeding
-    contract).
+    contract).  ``multilevel`` / ``compaction`` switch the partitioner to
+    the V-cycle pipeline / the compacted hot loop, which speed the
+    measured column up further (compaction leaves the quality columns
+    essentially unchanged; multilevel trades a little edge locality).
     """
     rows: list[dict] = []
     for label, fb_billions, num_workers in configurations:
@@ -68,7 +72,8 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
             start = time.perf_counter()
             placements[mode] = partition_by_mode(
                 graph, mode, num_workers, iterations=gd_iterations, seed=seed,
-                parallelism=parallelism, max_workers=max_workers)
+                parallelism=parallelism, max_workers=max_workers,
+                multilevel=multilevel, compaction=compaction)
             partition_seconds[mode] = time.perf_counter() - start
         for app_name in applications:
             program = APPLICATIONS[app_name]()

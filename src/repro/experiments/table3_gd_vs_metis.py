@@ -26,15 +26,23 @@ DIMENSIONS = (2, 3, 4)
 def run(scale: float = DEFAULT_SCALE, seed: int = 0, num_parts: int = 2,
         gd_iterations: int = 60, epsilon: float = 0.05,
         graphs: tuple[str, ...] = DEFAULT_GRAPHS,
-        dimensions: tuple[int, ...] = DIMENSIONS) -> list[dict]:
-    """One row per (dimension count, graph, algorithm)."""
+        dimensions: tuple[int, ...] = DIMENSIONS,
+        multilevel: bool = False, compaction: bool = False) -> list[dict]:
+    """One row per (dimension count, graph, algorithm).
+
+    ``multilevel`` / ``compaction`` run the GD rows through the V-cycle
+    pipeline / the compacted hot loop — an apples-to-apples comparison
+    against the METIS-like baseline, whose own multilevel machinery now
+    shares the same :mod:`repro.graphs.coarsening` layer.
+    """
     rows: list[dict] = []
     for graph_name in graphs:
         graph = public_graph(graph_name, scale=scale, seed=seed)
         for num_dimensions in dimensions:
             weights = standard_weights(graph, num_dimensions)
             algorithms = {
-                "GD": make_gd(epsilon=epsilon, iterations=gd_iterations, seed=seed),
+                "GD": make_gd(epsilon=epsilon, iterations=gd_iterations, seed=seed,
+                              multilevel=multilevel, compaction=compaction),
                 "METIS": MetisLikePartitioner(seed=seed),
             }
             for name, partitioner in algorithms.items():

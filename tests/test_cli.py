@@ -79,6 +79,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["partition", "g.txt", "--projection", "bogus"])
 
+    def test_multilevel_and_compaction_flags(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.multilevel is False
+        assert args.compaction is False
+        assert args.coarsest_size is None
+        assert args.refinement_iterations is None
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--multilevel", "--coarsest-size", "256",
+             "--refinement-iterations", "6", "--compaction"])
+        assert args.multilevel is True
+        assert args.coarsest_size == 256
+        assert args.refinement_iterations == 6
+        assert args.compaction is True
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--no-multilevel", "--no-compaction"])
+        assert args.multilevel is False
+        assert args.compaction is False
+
 
 class TestPartitionCommand:
     def test_gd_partition_writes_assignment(self, graph_file, tmp_path, capsys):
@@ -92,6 +110,14 @@ class TestPartitionCommand:
         assert set(np.unique(assignment)).issubset({0, 1, 2, 3})
         captured = capsys.readouterr().out
         assert "edge locality" in captured
+
+    def test_gd_partition_with_multilevel_and_compaction(self, graph_file, capsys):
+        code = main(["partition", str(graph_file), "--parts", "2",
+                     "--iterations", "15", "--multilevel",
+                     "--coarsest-size", "64", "--refinement-iterations", "5",
+                     "--compaction"])
+        assert code == 0
+        assert "edge locality" in capsys.readouterr().out
 
     @pytest.mark.parametrize("algorithm", ["hash", "blp", "fennel", "ldg"])
     def test_baseline_algorithms(self, graph_file, algorithm, capsys):
