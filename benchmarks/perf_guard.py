@@ -30,6 +30,13 @@ bound kernels the suite actually measures.
 ``snapshot`` refreshes the baseline from a raw pytest-benchmark JSON::
 
     python benchmarks/perf_guard.py snapshot bench_raw.json
+
+``history`` renders the accumulated ``BENCH_history.jsonl`` as a
+per-benchmark trend table (one column per recorded run, newest last) so
+the cross-run trajectory is visible directly in the workflow step summary
+instead of requiring an artifact download::
+
+    python benchmarks/perf_guard.py history --limit 8
 """
 
 from __future__ import annotations
@@ -212,6 +219,65 @@ def append_history(distilled: dict, rows: list[dict],
     return path
 
 
+def _load_history(path: Path) -> list[dict]:
+    """Parse the append-only history file, skipping unreadable lines (a
+    truncated tail from an interrupted run must not kill the report)."""
+    entries: list[dict] = []
+    if not path.exists():
+        return entries
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(f"warning: skipping malformed history line: {line[:60]}...",
+                  file=sys.stderr)
+    return entries
+
+
+def render_history(entries: list[dict], limit: int) -> str:
+    """Per-benchmark trend table over the last ``limit`` recorded runs.
+
+    One row per benchmark, one column per run (oldest → newest), the
+    median in milliseconds with a marker when the run's guard status was
+    not ``ok``.  Runs are labelled by their short commit.
+    """
+    entries = entries[-limit:]
+    if not entries:
+        return "## Perf history\n\nNo recorded runs yet.\n"
+
+    labels = []
+    for entry in entries:
+        commit = entry.get("commit", "unknown")
+        labels.append(commit[:7] if commit != "unknown" else "unknown")
+    names = sorted({name for entry in entries
+                    for name in entry.get("medians_ms", {})})
+
+    status_marks = {"FAIL": " ❌", "new": " 🆕", "missing": " ⚠️"}
+    lines = [
+        "## Perf history",
+        "",
+        f"Median per run in ms, oldest → newest (last {len(entries)} recorded "
+        "runs; ❌ = failed the guard, 🆕 = no baseline at the time).",
+        "",
+        "| benchmark | " + " | ".join(labels) + " |",
+        "| --- |" + " ---: |" * len(labels),
+    ]
+    for name in names:
+        cells = []
+        for entry in entries:
+            median = entry.get("medians_ms", {}).get(name)
+            if median is None:
+                cells.append("—")
+                continue
+            mark = status_marks.get(entry.get("statuses", {}).get(name, "ok"), "")
+            cells.append(f"{median:.3f}{mark}")
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -228,7 +294,23 @@ def main(argv: list[str] | None = None) -> int:
     snapshot.add_argument("raw_json", type=Path)
     snapshot.add_argument("--output", type=Path, default=BASELINE_PATH)
 
+    history = subparsers.add_parser(
+        "history", help="render BENCH_history.jsonl as a per-benchmark trend table")
+    history.add_argument("--history-file", type=Path, default=HISTORY_PATH)
+    history.add_argument("--limit", type=int, default=10,
+                         help="number of most recent runs to show")
+
     args = parser.parse_args(argv)
+
+    if args.command == "history":
+        table = render_history(_load_history(args.history_file), args.limit)
+        print(table)
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(table)
+        return 0
+
     distilled = distill(args.raw_json)
 
     if args.command == "snapshot":

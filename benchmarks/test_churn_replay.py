@@ -1,0 +1,40 @@
+"""Extension benchmark: the churn-replay experiment (dynamic workload).
+
+Not a figure from the paper — the replay exercises the dynamic-graph
+engine end to end on an FB-preset graph: T batches of 1% edge churn
+(degree weights kept in sync through the delta channel), each absorbed by
+the incremental repartitioner, with the full-recompute reference and the
+simulated BSP superstep latency per batch.  Expected shape: the repair
+trajectory tracks the recompute reference while spending a small fraction
+of its GD iterations, and the repaired placement's superstep latency
+never exceeds the stale placement's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import churn_replay
+
+from _util import BENCH_SCALE, run_once, save_result
+
+pytestmark = pytest.mark.slow
+
+
+def test_churn_replay_trajectory(benchmark):
+    rows = run_once(benchmark, lambda: churn_replay.run(
+        preset="fb-80", scale=BENCH_SCALE, num_parts=8, num_batches=10,
+        churn_fraction=0.01, gd_iterations=60, seed=0))
+    save_result("churn_replay", churn_replay.format_result(rows))
+
+    assert all(row["balanced"] for row in rows)
+    # Repair stays cheap and effective over the trajectory.
+    repair_rows = [row for row in rows if row["mode"] == "repair"]
+    assert repair_rows, "no batch was absorbed by local repair"
+    assert float(np.mean([row["work_ratio"] for row in repair_rows])) >= 4.0
+    assert float(np.mean([row["locality_gap_pts"] for row in rows])) <= 1.5
+    # The repaired placement serves supersteps at least as fast as the
+    # stale one (strictly faster whenever the repair moved load off the
+    # slowest worker; equal is legitimate when churn missed it).
+    stale = np.array([row["stale_superstep"] for row in rows])
+    repaired = np.array([row["repaired_superstep"] for row in rows])
+    assert np.all(repaired <= stale * 1.02)

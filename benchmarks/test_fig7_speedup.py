@@ -23,8 +23,8 @@ def test_fig7_measured_parallel(benchmark):
     rows_parallel = run_once(benchmark, lambda: fig7_speedup.run(
         scale=BENCH_SCALE, gd_iterations=30, parallelism="thread", max_workers=4))
     rows_serial = fig7_speedup.run(scale=BENCH_SCALE, gd_iterations=30)
-    assert [row["speedup_pct"] for row in rows_parallel] \
-        == [row["speedup_pct"] for row in rows_serial]
+    assert ([row["speedup_pct"] for row in rows_parallel]
+            == [row["speedup_pct"] for row in rows_serial])
 
 
 def test_fig7_multilevel_speedup(benchmark):

@@ -336,8 +336,8 @@ def _late_stage_steppers():
     warm = BisectionStepper(graph, weights, 0.05, _FLAT_CONFIG)
     for iteration in range(70):
         warm.step(iteration)
-    assert warm.fixed.sum() > 0.5 * graph.num_vertices, \
-        "workload is not majority-fixed; late-stage benchmark invalid"
+    assert warm.fixed.sum() > 0.5 * graph.num_vertices, (
+        "workload is not majority-fixed; late-stage benchmark invalid")
     steppers = {}
     for label, compaction in (("masked", False), ("compacted", True)):
         config = _FLAT_CONFIG.with_updates(vertex_fixing=False,
@@ -469,6 +469,106 @@ def test_multilevel_speedup():
     assert multilevel_best * 1.1 <= flat_best, (
         f"multilevel GD not >= 1.1x faster: "
         f"multilevel={multilevel_best * 1e3:.1f}ms flat={flat_best * 1e3:.1f}ms")
+
+
+# --------------------------------------------------------------------- #
+# Dynamic-graph engine: incremental repair vs full recompute under churn
+# --------------------------------------------------------------------- #
+@functools.lru_cache(maxsize=1)
+def _churn_workload():
+    """An fb-80 preset graph with its initial k=8 partition and a churn
+    trace (1% of the edges rewired per batch) — the dynamic-graph
+    benchmark workload of ISSUE 5."""
+    from repro.dynamic import UpdateBatch
+    from repro.graphs import churn_trace, fb_like
+
+    graph = fb_like(80, scale=1.0, seed=0)
+    weights = standard_weights(graph, 2)
+    config = GDConfig(iterations=60, seed=0)
+    initial = recursive_bisection(graph, weights, 8, 0.05, config)
+    batches = [UpdateBatch(insertions=ins, deletions=dels)
+               for ins, dels in churn_trace(graph, 1, 0.01, seed=1)]
+    return graph, weights, config, initial, batches
+
+
+def _fresh_repartitioner():
+    from repro.dynamic import DynamicGraph, IncrementalRepartitioner
+
+    graph, weights, config, initial, _ = _churn_workload()
+    dynamic = DynamicGraph(graph, weights)
+    return IncrementalRepartitioner(dynamic, initial.assignment, 8,
+                                    epsilon=0.05, config=config)
+
+
+def test_perf_churn_repair_batch(benchmark):
+    """Absorbing one 1% churn batch through the incremental repartitioner
+    (damage scoring + h-hop freeze + compacted warm-started repair).  The
+    acceptance bar of ISSUE 5 — ≥ 5x fewer GD iterations than a full
+    recompute at comparable locality — is enforced directly by
+    test_churn_repair_quality_and_work; this pair carries the wall-clock
+    numbers for the perf guard."""
+    _, _, _, _, batches = _churn_workload()
+
+    def setup():
+        # A fresh repartitioner per round: apply() mutates the graph, so
+        # the same batch can only be absorbed once per engine.
+        return (_fresh_repartitioner(), batches[0]), {}
+
+    benchmark.pedantic(lambda rep, batch: rep.apply(batch), setup=setup,
+                       rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_perf_churn_recompute_batch(benchmark):
+    """The comparison point: full recursive GD on the post-batch graph —
+    what a system without the incremental engine would run per batch."""
+    graph, weights, config, _, batches = _churn_workload()
+    from repro.dynamic import DynamicGraph
+
+    dynamic = DynamicGraph(graph, weights)
+    dynamic.apply(batches[0])
+    updated = dynamic.snapshot()
+    benchmark.pedantic(
+        lambda: recursive_bisection(updated, dynamic.weights, 8, 0.05, config),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.slow
+def test_churn_repair_quality_and_work():
+    """The ISSUE 5 acceptance bar on a 20-batch churn replay (fb-80
+    preset, 1% edge churn per batch): incremental repair tracks the
+    per-batch full-recompute locality within 1 point on average while
+    executing ≥ 5x fewer GD iterations on average, and every batch ends
+    ε-balanced.
+
+    The per-batch gap guard is looser (4 points): the recompute reference
+    is itself a fresh randomized GD solve whose locality varies ~1.5
+    points between adjacent seeds/batches at this scale, so only the mean
+    is a stable 1-point signal.  Observed on this workload: mean gap ≈
+    −0.3 (repair slightly *better* than recompute, because it keeps
+    refining one basin), mean work ratio 6x.
+    """
+    from repro.experiments import churn_replay
+
+    rows = churn_replay.run(preset="fb-80", scale=1.0, num_parts=8,
+                            num_batches=20, churn_fraction=0.01,
+                            gd_iterations=60, seed=0,
+                            measure_supersteps=False)
+    gaps = [row["locality_gap_pts"] for row in rows]
+    ratios = [row["work_ratio"] for row in rows]
+    mean_gap = float(np.mean(gaps))
+    mean_ratio = float(np.mean(ratios))
+    assert mean_gap <= 1.0, (
+        f"incremental repair trails full recompute by {mean_gap:.2f} locality "
+        f"points on average (budget: 1.0); per-batch gaps: {np.round(gaps, 2)}")
+    assert max(gaps) <= 4.0, (
+        f"a single batch trailed recompute by {max(gaps):.2f} points "
+        f"(noise guard: 4.0)")
+    assert mean_ratio >= 5.0, (
+        f"repair is only {mean_ratio:.2f}x cheaper than recompute in GD "
+        f"iterations (budget: 5x); per-batch ratios: {np.round(ratios, 2)}")
+    assert all(row["balanced"] for row in rows), (
+        "a batch ended outside the ε balance band: "
+        f"{[row['batch'] for row in rows if not row['balanced']]}")
 
 
 def test_perf_pagerank_superstep(benchmark):

@@ -12,6 +12,8 @@ arXiv:1902.03522, 2019).  The package contains:
   multilevel multi-constraint partitioner;
 * :mod:`repro.distributed` — a Giraph-style BSP simulator with PageRank,
   Connected Components, Mutual Friends and Hypergraph Clustering;
+* :mod:`repro.dynamic` — the dynamic-graph engine: batched edge/weight
+  updates on a live CSR and incremental repartitioning under churn;
 * :mod:`repro.experiments` — one runner per table / figure of the paper.
 
 Quickstart::
@@ -26,7 +28,7 @@ Quickstart::
     print(edge_locality(partition), max_imbalance(partition, weights))
 """
 
-from . import baselines, core, distributed, experiments, graphs, partition
+from . import baselines, core, distributed, dynamic, experiments, graphs, partition
 from .core import GDConfig, GDPartitioner, gd_bisect, recursive_bisection
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
@@ -40,6 +42,7 @@ __all__ = [
     "baselines",
     "core",
     "distributed",
+    "dynamic",
     "experiments",
     "graphs",
     "partition",

@@ -90,8 +90,8 @@ class _StreamingBase(Partitioner):
         for vertex in order:
             neighbors = graph.neighbors(vertex)
             placed = neighbors[assignment[neighbors] >= 0]
-            neighbor_counts = np.bincount(assignment[placed], minlength=num_parts) \
-                if placed.size else np.zeros(num_parts)
+            neighbor_counts = (np.bincount(assignment[placed], minlength=num_parts)
+                               if placed.size else np.zeros(num_parts))
             scores = self._score(neighbor_counts, loads, capacity,
                                  graph.num_edges, n, num_parts)
             # Ties (in particular the "no placed neighbors yet" case) go to

@@ -17,6 +17,12 @@ Subcommands
     Score an existing assignment file against a graph.
 ``generate``
     Materialize one of the synthetic dataset presets as an edge list.
+``repartition``
+    Incrementally repair an existing partition after graph updates: read
+    the previous assignment plus an update-batch trace, absorb each batch
+    through the dynamic-graph engine (local repair or full recompute,
+    chosen by damage), and write the repaired assignment with a
+    repair-vs-recompute report per batch.
 """
 
 from __future__ import annotations
@@ -36,8 +42,14 @@ from .baselines import (
     SpinnerPartitioner,
 )
 from .core import GDConfig, GDPartitioner, PARALLELISM_MODES, PROJECTION_METHODS
-from .graphs import load_dataset, read_edge_list, read_partition, weight_matrix, \
-    write_edge_list, write_partition
+from .graphs import (
+    load_dataset,
+    read_edge_list,
+    read_partition,
+    weight_matrix,
+    write_edge_list,
+    write_partition,
+)
 from .graphs.weights import WEIGHT_FUNCTIONS
 from .partition import Partition, edge_locality, imbalance
 
@@ -133,6 +145,48 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", required=True, help="edge-list file to write")
+
+    repartition = subparsers.add_parser(
+        "repartition",
+        help="incrementally repair an existing partition after graph updates")
+    repartition.add_argument("graph", help="pre-update whitespace edge list")
+    repartition.add_argument("assignment", help="previous part-per-line assignment")
+    repartition.add_argument("updates",
+                             help="update-batch trace (+/-/w lines, %%%% separators)")
+    repartition.add_argument("--parts", type=int, default=None,
+                             help="number of parts k the assignment was built "
+                                  "for (default: max part id + 1 in the "
+                                  "assignment file — pass k explicitly when "
+                                  "the highest-numbered part may be empty)")
+    repartition.add_argument("--weights", nargs="+", default=["unit", "degree"],
+                             choices=sorted(WEIGHT_FUNCTIONS),
+                             help="balance dimensions the assignment was built with")
+    repartition.add_argument("--epsilon", type=float, default=0.05,
+                             help="allowed relative imbalance")
+    repartition.add_argument("--iterations", type=int, default=100,
+                             help="GD iterations of the full-recompute fallback")
+    repartition.add_argument("--hops", type=int, default=None, metavar="H",
+                             help="freeze vertices farther than H hops from a "
+                                  "touched edge/vertex (default from GDConfig)")
+    repartition.add_argument("--damage-threshold", type=float, default=None,
+                             metavar="T",
+                             help="damage score above which the repartitioner "
+                                  "re-runs full recursive GD instead of "
+                                  "repairing locally (default from GDConfig)")
+    repartition.add_argument("--repair-iterations", type=int, default=None,
+                             metavar="N",
+                             help="GD iterations per local-repair pass "
+                                  "(default from GDConfig)")
+    repartition.add_argument("--parallelism", choices=PARALLELISM_MODES,
+                             default="serial",
+                             help="execution backend for repair waves and the "
+                                  "recompute fallback (bit-identical output "
+                                  "across backends)")
+    repartition.add_argument("--workers", type=int, default=None, metavar="N",
+                             help="worker count for --parallelism thread/process")
+    repartition.add_argument("--seed", type=int, default=0)
+    repartition.add_argument("--output",
+                             help="write the repaired part-per-line assignment")
     return parser
 
 
@@ -164,8 +218,8 @@ def _run_partition(args: argparse.Namespace) -> int:
                             compaction=args.compaction,
                             **multilevel_overrides))
     else:
-        partitioner = _ALGORITHMS[args.algorithm](seed=args.seed) \
-            if args.algorithm != "hash" else HashPartitioner(salt=args.seed)
+        partitioner = (_ALGORITHMS[args.algorithm](seed=args.seed)
+                       if args.algorithm != "hash" else HashPartitioner(salt=args.seed))
     partition = partitioner.partition(graph, weights, args.parts)
     print(_report(partition, weights))
     if args.output:
@@ -195,6 +249,55 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_repartition(args: argparse.Namespace) -> int:
+    from .dynamic import DynamicGraph, IncrementalRepartitioner, read_update_batches
+
+    graph = read_edge_list(args.graph)
+    weights = weight_matrix(graph, args.weights)
+    assignment = read_partition(args.assignment)
+    if assignment.shape[0] != graph.num_vertices:
+        print("error: assignment length does not match the number of vertices",
+              file=sys.stderr)
+        return 2
+    num_parts = (args.parts if args.parts is not None
+                 else int(assignment.max(initial=0)) + 1)
+    if int(assignment.min(initial=0)) < 0 or int(assignment.max(initial=0)) >= num_parts:
+        print(f"error: assignment part ids must lie in 0..{num_parts - 1} "
+              f"(found {int(assignment.min(initial=0))}.."
+              f"{int(assignment.max(initial=0))})", file=sys.stderr)
+        return 2
+    batches = read_update_batches(args.updates, num_dimensions=weights.shape[0])
+
+    overrides = {}
+    if args.hops is not None:
+        overrides["repartition_hops"] = args.hops
+    if args.damage_threshold is not None:
+        overrides["repartition_damage_threshold"] = args.damage_threshold
+    if args.repair_iterations is not None:
+        overrides["repartition_iterations"] = args.repair_iterations
+    config = GDConfig(iterations=args.iterations, seed=args.seed,
+                      parallelism=args.parallelism, max_workers=args.workers,
+                      **overrides)
+    dynamic = DynamicGraph(graph, weights)
+    repartitioner = IncrementalRepartitioner(dynamic, assignment, num_parts,
+                                             epsilon=args.epsilon, config=config)
+    for index, batch in enumerate(batches):
+        report = repartitioner.apply(batch)
+        print(f"batch {index}: {report.mode}  "
+              f"damage={report.damage.total:.4f}  "
+              f"locality={report.edge_locality_pct:.2f}%  "
+              f"imbalance={report.max_imbalance_pct:.2f}%  "
+              f"gd_iterations={report.gd_iterations} "
+              f"(full recompute: {report.full_recompute_iterations}, "
+              f"work ratio {report.work_ratio:.1f}x)  "
+              f"moved={report.moved_vertices}")
+    print(_report(repartitioner.partition(), repartitioner.dynamic.weights))
+    if args.output:
+        write_partition(repartitioner.assignment, args.output)
+        print(f"repaired assignment written to {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -204,6 +307,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_evaluate(args)
     if args.command == "generate":
         return _run_generate(args)
+    if args.command == "repartition":
+        return _run_repartition(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

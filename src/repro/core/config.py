@@ -134,6 +134,28 @@ class GDConfig:
         multilevel refinement passes (majority-fixed by construction)
         always compact.  With ``parallelism="batched"`` compacted tasks
         are advanced per task rather than in lock-step.
+    repartition_hops:
+        Radius of the incremental repartitioner's freeze rule
+        (:mod:`repro.dynamic.repartition`): after an update batch, only
+        vertices within this many hops of a touched edge/vertex may be
+        reassigned by a local repair; everything farther is frozen at
+        its previous side.  Ignored by the one-shot partitioners.
+    repartition_damage_threshold:
+        Damage score above which the incremental repartitioner abandons
+        local repair and re-runs full recursive GD on the updated graph.
+        The score sums the batch's relative cut increase (fraction of the
+        edge set) and its ε-balance violation in slack-widths (1.0 = a
+        part sits a full ``ε·W/k`` past its band), so the default 0.05
+        recomputes when a batch cuts ~5% of the edges *or* pushes a part
+        5% of one slack-width out of band — deliberately conservative on
+        balance, because an out-of-band partition must not be served and
+        the released vertices alone cannot always restore it (the
+        escalation path is the backstop, not the plan).
+    repartition_iterations:
+        GD iterations of each local-repair pass.  Repairs start from the
+        previous (integral) assignment with most vertices frozen, so a
+        short compacted budget suffices — this is the lever behind the
+        repair-vs-recompute work ratio.
     """
 
     iterations: int = 100
@@ -157,6 +179,9 @@ class GDConfig:
     coarsest_size: int = 512
     refinement_iterations: int = 10
     compaction: bool = False
+    repartition_hops: int = 2
+    repartition_damage_threshold: float = 0.05
+    repartition_iterations: int = 10
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -183,6 +208,12 @@ class GDConfig:
             raise ValueError("coarsest_size must be at least 8")
         if self.refinement_iterations < 1:
             raise ValueError("refinement_iterations must be at least 1")
+        if self.repartition_hops < 0:
+            raise ValueError("repartition_hops must be non-negative")
+        if self.repartition_damage_threshold <= 0:
+            raise ValueError("repartition_damage_threshold must be positive")
+        if self.repartition_iterations < 1:
+            raise ValueError("repartition_iterations must be at least 1")
 
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""

@@ -90,7 +90,14 @@ class IterationRecord:
 
 @dataclass(frozen=True)
 class BisectionResult:
-    """Outcome of one GD bisection run."""
+    """Outcome of one GD bisection run.
+
+    ``warm_lambdas`` carries the projection engine's final multipliers
+    (when the method keeps multiplier state), so a later solve over the
+    same balance dimensions — the incremental repartitioner's repair
+    passes, most notably — can seed its engine from this solve's end
+    state instead of a cold start.
+    """
 
     partition: Partition
     fractional: np.ndarray = field(repr=False)
@@ -99,6 +106,7 @@ class BisectionResult:
     config: GDConfig
     elapsed_seconds: float
     projection_stats: ProjectionStats | None = field(default=None, repr=False)
+    warm_lambdas: dict[int, float] | None = field(default=None, repr=False)
 
 
 def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRelaxation,
@@ -144,7 +152,8 @@ def bisection_regions(weights: np.ndarray, epsilon: float, config: GDConfig,
 def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
                        epsilon: float, final_region: FeasibleRegion,
                        center: np.ndarray, x: np.ndarray, fixed: np.ndarray,
-                       rng: np.random.Generator) -> np.ndarray:
+                       rng: np.random.Generator,
+                       movable: np.ndarray | None = None) -> np.ndarray:
     """Shared tail of one bisection: clean-up projection, rounding, repair.
 
     One-shot alternating projections accumulate a residual imbalance; run
@@ -153,6 +162,13 @@ def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
     Mutates ``x`` in place (the clean-up projection) and returns the ±1
     side vector.  Serial and batched GD call this with identical
     per-subproblem state, which keeps their outputs bit-identical.
+
+    ``movable`` restricts the greedy balance repair to a subset of
+    vertices (see :func:`repro.core.rounding.balance_repair`); the
+    incremental repartitioner passes the vertices its freeze rule
+    released so frozen vertices provably keep their side.  ``None`` (the
+    default, used by every full solve) is bit-identical to the
+    historical behaviour.
     """
     if config.final_projection_rounds > 0:
         free = ~fixed
@@ -165,7 +181,8 @@ def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
 
     sides = randomized_round(x, rng)
     if config.balance_repair:
-        sides = balance_repair(graph, sides, weights, epsilon, center=center)
+        sides = balance_repair(graph, sides, weights, epsilon, center=center,
+                               movable=movable)
     return sides
 
 
@@ -414,6 +431,7 @@ class BisectionStepper:
             config=config,
             elapsed_seconds=time.perf_counter() - self._start_time,
             projection_stats=self.engine.stats,
+            warm_lambdas=self.engine.export_warm_lambdas(),
         )
 
 

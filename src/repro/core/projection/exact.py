@@ -154,8 +154,8 @@ class ExactProjector(Projector):
         if converged:
             dims = sorted(active)
             self.last_active = dict(active)
-            self.last_lambdas = {j: float(lam) for j, lam in zip(dims, lambdas)} \
-                if active else {}
+            self.last_lambdas = ({j: float(lam) for j, lam in zip(dims, lambdas)}
+                                 if active else {})
             return x
 
         # Floating-point fallback: make sure the result is feasible.

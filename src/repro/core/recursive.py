@@ -64,7 +64,21 @@ from .config import GDConfig
 from .executor import BisectionExecutor, task_seed
 from .gd import gd_bisect
 
-__all__ = ["recursive_bisection"]
+__all__ = ["per_level_epsilon", "recursive_bisection"]
+
+
+def per_level_epsilon(num_parts: int, epsilon: float) -> tuple[int, float]:
+    """The recursion depth and the per-level imbalance budget.
+
+    Imbalances compound multiplicatively across the ``⌈log₂ k⌉`` levels:
+    ``(1 + eps_level)^levels <= 1 + eps``, floored at 1e-4.  Shared with
+    the incremental repartitioner (:mod:`repro.dynamic.repartition`),
+    whose repaired partitions must answer to the *same* per-level bands
+    as this scheduler's recomputed ones.
+    """
+    levels = max(1, math.ceil(math.log2(num_parts)))
+    value = (1.0 + epsilon) ** (1.0 / levels) - 1.0
+    return levels, max(value, 1e-4)
 
 
 @dataclass(frozen=True)
@@ -168,11 +182,7 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
     if num_parts == 1:
         return Partition.trivial(graph, num_parts=1)
 
-    levels = max(1, math.ceil(math.log2(num_parts)))
-    # Imbalances compound multiplicatively across levels:
-    # (1 + eps_level)^levels <= 1 + eps.
-    epsilon_per_level = (1.0 + epsilon) ** (1.0 / levels) - 1.0
-    epsilon_per_level = max(epsilon_per_level, 1e-4)
+    _, epsilon_per_level = per_level_epsilon(num_parts, epsilon)
 
     assignment = np.zeros(graph.num_vertices, dtype=np.int64)
     frontier = [_Task(vertex_ids=np.arange(graph.num_vertices), num_parts=num_parts,

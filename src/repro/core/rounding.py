@@ -56,7 +56,8 @@ def _normalized_violation(sums: np.ndarray, slack: np.ndarray, totals: np.ndarra
 
 def balance_repair(graph: Graph, sides: np.ndarray, weights: np.ndarray,
                    epsilon: float, center: np.ndarray | None = None,
-                   max_moves: int | None = None) -> np.ndarray:
+                   max_moves: int | None = None,
+                   movable: np.ndarray | None = None) -> np.ndarray:
     """Greedily flip vertices until every dimension satisfies ε-balance.
 
     The balance constraint is ``|⟨w^(j), sides⟩ − center_j| ≤ ε Σ_i w^(j)_i``
@@ -70,12 +71,21 @@ def balance_repair(graph: Graph, sides: np.ndarray, weights: np.ndarray,
     accepted move strictly decreases the total violation, the pass cannot
     oscillate; it stops when the partition is ε-balanced, when no improving
     move exists, or after ``max_moves`` moves (default ``n``).
+
+    ``movable`` optionally masks the vertices the repair may flip — the
+    incremental repartitioner confines moves to the vertices its freeze
+    rule released.  ``None`` (the default) leaves every vertex movable,
+    which is bit-identical to the historical behaviour.
     """
     sides = np.asarray(sides, dtype=np.float64).copy()
     weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
     n = graph.num_vertices
     if n == 0:
         return sides
+    if movable is not None:
+        movable = np.asarray(movable, dtype=bool)
+        if movable.shape != (n,):
+            raise ValueError("movable must have one entry per vertex")
     if max_moves is None:
         max_moves = n
 
@@ -93,7 +103,10 @@ def balance_repair(graph: Graph, sides: np.ndarray, weights: np.ndarray,
         excess = np.maximum(np.abs(sums) - slack, 0.0) / np.maximum(totals, 1e-12)
         worst_dim = int(np.argmax(excess))
         donor_side = 1.0 if sums[worst_dim] > 0 else -1.0
-        candidates = np.flatnonzero(sides == donor_side)
+        on_donor_side = sides == donor_side
+        if movable is not None:
+            on_donor_side &= movable
+        candidates = np.flatnonzero(on_donor_side)
         if candidates.size == 0:
             break
 

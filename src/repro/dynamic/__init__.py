@@ -1,0 +1,40 @@
+"""Dynamic-graph engine: incremental repartitioning under edge churn.
+
+The one-shot partitioners in :mod:`repro.core` solve a static graph; this
+package keeps a partition healthy while the graph changes underneath it:
+
+* :class:`DynamicGraph` — a live CSR + weight matrix that absorbs batched
+  edge insertions/deletions and vertex-weight deltas with per-batch work
+  proportional to the batch (touched rows only);
+* :class:`UpdateBatch` — one batch of such updates;
+* :class:`IncrementalMetrics` — cut/locality and per-dimension balance
+  maintained as running sums under batches and repair moves;
+* :class:`IncrementalRepartitioner` — scores the damage a batch did and
+  either repairs the partition locally (h-hop freeze + short compacted
+  warm-started GD over the implied recursion tree) or falls back to full
+  recursive GD;
+* :mod:`repro.dynamic.trace` — the text trace format of the
+  ``repro repartition`` CLI subcommand.
+"""
+
+from .graph import DynamicGraph, UpdateBatch
+from .metrics import IncrementalMetrics
+from .repartition import (
+    DamageScore,
+    IncrementalRepartitioner,
+    RepairReport,
+    repair_config,
+)
+from .trace import read_update_batches, write_update_batches
+
+__all__ = [
+    "DynamicGraph",
+    "UpdateBatch",
+    "IncrementalMetrics",
+    "DamageScore",
+    "IncrementalRepartitioner",
+    "RepairReport",
+    "repair_config",
+    "read_update_batches",
+    "write_update_batches",
+]

@@ -1,0 +1,317 @@
+"""Mutable graph state under edge churn: batched updates on a live CSR.
+
+The partitioners in this package operate on the immutable
+:class:`~repro.graphs.graph.Graph`, which is the right contract for a
+one-shot solve but the wrong one for the workloads the paper targets:
+social-graph serving churns continuously, and re-canonicalizing the whole
+edge list per update batch costs O(m log m) regardless of how small the
+batch is.  :class:`DynamicGraph` is the update layer underneath the
+incremental repartitioner (:mod:`repro.dynamic.repartition`): it owns the
+canonical edge array, the CSR adjacency and the vertex weight matrix, and
+applies an :class:`UpdateBatch` with work proportional to the batch —
+
+* membership checks and the edge-array splice run on the sorted canonical
+  key array (``O(delta log m)`` searches plus one memcpy-level splice);
+* only the CSR rows of *touched* vertices are recomputed; untouched rows
+  are block-copied between them, so per-row recomputation work is
+  ``O(delta + touched-row degrees)``, never a full re-sort of the edge
+  list;
+* vertex-weight deltas are scattered into the touched columns only.
+
+Snapshot parity contract
+------------------------
+:meth:`DynamicGraph.snapshot` returns a :class:`Graph` that is
+**bit-identical** to ``Graph.from_edges(n, current_edge_set)`` — the same
+canonical edge array and the exact CSR layout ``_build_csr`` would
+produce.  (Canonical edges are sorted by ``lo * n + hi``, which makes row
+``r``'s CSR neighbors "all neighbors > r ascending, then all neighbors
+< r ascending"; the incremental row rebuild reproduces that order from
+the updated neighbor set.)  Everything downstream — metrics, GD repair,
+full recompute — therefore behaves as if the graph had been rebuilt from
+scratch, which is what makes the incremental path testable against the
+from-scratch one.
+
+Snapshots share the live arrays: :meth:`apply` always *replaces* the
+internal arrays instead of mutating them, so a previously returned
+snapshot keeps describing the pre-update graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph, _canonicalize_edges
+from ..partition.validation import validate_weights
+
+__all__ = ["DynamicGraph", "UpdateBatch"]
+
+
+def _as_edge_array(edges) -> np.ndarray:
+    if edges is None:
+        return np.empty((0, 2), dtype=np.int64)
+    array = np.asarray(edges, dtype=np.int64)
+    if array.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError("edge updates must form an (m, 2) array of vertex pairs")
+    return array
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of graph updates: edge churn plus vertex-weight deltas.
+
+    Attributes
+    ----------
+    insertions, deletions:
+        ``(m, 2)`` arrays of undirected edges to add / remove.  Orientation
+        does not matter; self loops and duplicates within the batch are
+        dropped when the batch is applied.
+    weight_vertices:
+        Vertex ids whose balance weights change.
+    weight_deltas:
+        ``(d, t)`` additive deltas, one column per entry of
+        ``weight_vertices`` (``d`` must match the graph's weight matrix at
+        apply time).  Duplicate vertex ids accumulate.
+    """
+
+    insertions: np.ndarray = field(default=None, repr=False)
+    deletions: np.ndarray = field(default=None, repr=False)
+    weight_vertices: np.ndarray = field(default=None, repr=False)
+    weight_deltas: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "insertions", _as_edge_array(self.insertions))
+        object.__setattr__(self, "deletions", _as_edge_array(self.deletions))
+        vertices = (np.empty(0, dtype=np.int64) if self.weight_vertices is None
+                    else np.asarray(self.weight_vertices, dtype=np.int64).ravel())
+        deltas = (np.empty((0, vertices.size)) if self.weight_deltas is None
+                  else np.atleast_2d(np.asarray(self.weight_deltas, dtype=np.float64)))
+        if deltas.shape[1] != vertices.size:
+            raise ValueError("weight_deltas must have one column per weight vertex")
+        if vertices.size and self.weight_deltas is None:
+            raise ValueError("weight_vertices given without weight_deltas")
+        object.__setattr__(self, "weight_vertices", vertices)
+        object.__setattr__(self, "weight_deltas", deltas)
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.insertions.size == 0 and self.deletions.size == 0
+                and self.weight_vertices.size == 0)
+
+    @property
+    def num_edge_changes(self) -> int:
+        """Inserted plus deleted edge count (after batch canonicalization
+        when read off the batch :meth:`DynamicGraph.apply` returns)."""
+        return int(self.insertions.shape[0] + self.deletions.shape[0])
+
+    def touched_vertices(self) -> np.ndarray:
+        """Unique vertex ids incident to any update in the batch."""
+        return np.unique(np.concatenate([
+            self.insertions.ravel(), self.deletions.ravel(), self.weight_vertices]))
+
+
+class DynamicGraph:
+    """A graph plus weight matrix that absorbs :class:`UpdateBatch` es.
+
+    Parameters
+    ----------
+    graph:
+        Initial topology (its arrays are shared, never mutated).
+    weights:
+        ``(d, n)`` (or ``(n,)``) strictly positive weight matrix; copied.
+    """
+
+    def __init__(self, graph: Graph, weights: np.ndarray):
+        self._num_vertices = graph.num_vertices
+        self._edges = graph.edges
+        self._keys = (graph.edges[:, 0] * np.int64(max(self._num_vertices, 1))
+                      + graph.edges[:, 1])
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self._weights = validate_weights(graph, weights).copy()
+        self._snapshot: Graph | None = graph
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._edges.shape[0])
+
+    @property
+    def num_dimensions(self) -> int:
+        return int(self._weights.shape[0])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The live ``(d, n)`` weight matrix (treat as read-only)."""
+        return self._weights
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    def has_edge(self, u: int, v: int) -> bool:
+        lo, hi = (u, v) if u < v else (v, u)
+        if lo == hi or lo < 0 or hi >= self._num_vertices:
+            return False
+        key = np.int64(lo) * np.int64(self._num_vertices) + np.int64(hi)
+        position = int(np.searchsorted(self._keys, key))
+        return position < self._keys.size and self._keys[position] == key
+
+    def snapshot(self) -> Graph:
+        """The current topology as an immutable :class:`Graph`.
+
+        Bit-identical to ``Graph.from_edges`` over the current edge set
+        (see the module docstring); cached until the next :meth:`apply`.
+        """
+        if self._snapshot is None:
+            self._snapshot = Graph(num_vertices=self._num_vertices, edges=self._edges,
+                                   indptr=self._indptr, indices=self._indices)
+        return self._snapshot
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def apply(self, batch: UpdateBatch) -> UpdateBatch:
+        """Apply one update batch; returns the *canonicalized* batch.
+
+        The returned batch carries the deduplicated, ``u < v``-oriented
+        edge arrays that actually took effect — the form the incremental
+        metrics consume.  Raises :class:`ValueError` on conflicting
+        updates: inserting an edge that already exists, deleting one that
+        does not, or inserting and deleting the same edge in one batch.
+        Weight deltas must keep every touched weight strictly positive.
+        """
+        n = self._num_vertices
+        insertions = _canonicalize_edges(batch.insertions, n)
+        deletions = _canonicalize_edges(batch.deletions, n)
+        scale = np.int64(max(n, 1))
+        insert_keys = insertions[:, 0] * scale + insertions[:, 1]
+        delete_keys = deletions[:, 0] * scale + deletions[:, 1]
+        if np.intersect1d(insert_keys, delete_keys).size:
+            raise ValueError("an edge cannot be both inserted and deleted in one batch")
+
+        insert_positions = np.searchsorted(self._keys, insert_keys)
+        in_range = insert_positions < self._keys.size
+        if np.any(self._keys[insert_positions[in_range]] == insert_keys[in_range]):
+            raise ValueError("cannot insert an edge that already exists")
+        delete_positions = np.searchsorted(self._keys, delete_keys)
+        if delete_keys.size:
+            if self._keys.size == 0:
+                raise ValueError("cannot delete an edge that does not exist")
+            clipped = np.minimum(delete_positions, self._keys.size - 1)
+            if np.any((delete_positions >= self._keys.size)
+                      | (self._keys[clipped] != delete_keys)):
+                raise ValueError("cannot delete an edge that does not exist")
+
+        # Validate (and stage) the weight deltas BEFORE splicing the edges:
+        # apply must be atomic — a rejected batch leaves neither half
+        # applied, so a caller that catches the ValueError still holds a
+        # consistent graph/metrics pair and can re-submit a corrected batch.
+        updated_weights = (self._staged_weights(batch.weight_vertices,
+                                                batch.weight_deltas)
+                           if batch.weight_vertices.size else None)
+
+        if insertions.size or deletions.size:
+            self._splice_edges(insertions, insert_keys, deletions, delete_positions)
+        if updated_weights is not None:
+            self._weights = updated_weights
+
+        return UpdateBatch(insertions=insertions, deletions=deletions,
+                           weight_vertices=batch.weight_vertices,
+                           weight_deltas=batch.weight_deltas)
+
+    # ------------------------------------------------------------------ #
+    def _staged_weights(self, vertices: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+        """Validate the weight deltas and return the would-be weight matrix
+        (the caller commits it only after the rest of the batch succeeds)."""
+        if vertices.size and (vertices.min() < 0 or vertices.max() >= self._num_vertices):
+            raise ValueError("weight vertex id out of range")
+        if deltas.shape[0] != self._weights.shape[0]:
+            raise ValueError(
+                f"weight deltas have {deltas.shape[0]} dimensions but the graph "
+                f"weights have {self._weights.shape[0]}")
+        updated = self._weights.copy()
+        for dimension in range(deltas.shape[0]):
+            np.add.at(updated[dimension], vertices, deltas[dimension])
+        touched = updated[:, np.unique(vertices)]
+        if not np.all(np.isfinite(touched)) or np.any(touched <= 0):
+            raise ValueError("weight deltas must keep every weight strictly positive")
+        return updated
+
+    def _splice_edges(self, insertions: np.ndarray, insert_keys: np.ndarray,
+                      deletions: np.ndarray, delete_positions: np.ndarray) -> None:
+        """Update the canonical edge array and rebuild the touched CSR rows."""
+        keep = np.ones(self._keys.size, dtype=bool)
+        keep[delete_positions] = False
+        kept_keys = self._keys[keep]
+        kept_edges = self._edges[keep]
+        positions = np.searchsorted(kept_keys, insert_keys)
+        self._keys = np.insert(kept_keys, positions, insert_keys)
+        self._edges = np.insert(kept_edges, positions, insertions, axis=0)
+
+        # Per-row neighbor deltas (O(batch) python dict work).
+        added: dict[int, list[int]] = {}
+        removed: dict[int, list[int]] = {}
+        for u, v in insertions:
+            added.setdefault(int(u), []).append(int(v))
+            added.setdefault(int(v), []).append(int(u))
+        for u, v in deletions:
+            removed.setdefault(int(u), []).append(int(v))
+            removed.setdefault(int(v), []).append(int(u))
+        touched = sorted(set(added) | set(removed))
+
+        old_indptr, old_indices = self._indptr, self._indices
+        new_rows: dict[int, np.ndarray] = {}
+        degree_delta = 0
+        for vertex in touched:
+            neighbors = np.sort(old_indices[old_indptr[vertex]:old_indptr[vertex + 1]])
+            if vertex in removed:
+                neighbors = np.setdiff1d(neighbors,
+                                         np.asarray(removed[vertex], dtype=np.int64),
+                                         assume_unique=True)
+            if vertex in added:
+                neighbors = np.union1d(neighbors,
+                                       np.asarray(added[vertex], dtype=np.int64))
+            # The canonical CSR row order: larger neighbors ascending, then
+            # smaller neighbors ascending (see module docstring).
+            new_rows[vertex] = np.concatenate(
+                [neighbors[neighbors > vertex], neighbors[neighbors < vertex]])
+            degree_delta += new_rows[vertex].size - (old_indptr[vertex + 1]
+                                                     - old_indptr[vertex])
+
+        new_indices = np.empty(old_indices.size + degree_delta, dtype=np.int64)
+        new_indptr = old_indptr.copy()
+        old_cursor = new_cursor = 0
+        for vertex in touched:
+            gap = int(old_indptr[vertex]) - old_cursor
+            new_indices[new_cursor:new_cursor + gap] = old_indices[old_cursor:old_cursor + gap]
+            new_cursor += gap
+            row = new_rows[vertex]
+            new_indices[new_cursor:new_cursor + row.size] = row
+            new_cursor += row.size
+            old_cursor = int(old_indptr[vertex + 1])
+        tail = old_indices.size - old_cursor
+        new_indices[new_cursor:new_cursor + tail] = old_indices[old_cursor:]
+
+        # Rebuild indptr from the shifted row lengths: only rows after the
+        # first touched vertex move, by the cumulative degree delta so far.
+        degrees = np.diff(old_indptr)
+        for vertex in touched:
+            degrees[vertex] = new_rows[vertex].size
+        np.cumsum(degrees, out=new_indptr[1:])
+        self._indices = new_indices
+        self._indptr = new_indptr
+        self._snapshot = None

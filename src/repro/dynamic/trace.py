@@ -1,0 +1,110 @@
+"""Reading and writing update-batch traces.
+
+The ``repro repartition`` CLI subcommand and the churn-replay experiment
+exchange update batches through a plain text format, one directive per
+line::
+
+    # comment
+    + u v            # insert undirected edge (u, v)
+    - u v            # delete undirected edge (u, v)
+    w v j delta      # add delta to weight dimension j of vertex v
+    %%               # batch separator (a file may carry a whole trace)
+
+Batches are separated by ``%%`` lines; a file without separators is a
+single batch.  Empty batches are dropped on both sides — a trailing
+separator, consecutive separators, or a comment-only file yield no
+spurious no-op batches.  The weight directive is sparse — dimensions not
+mentioned keep their value — and the number of dimensions is supplied by
+the caller (the CLI knows it from ``--weights``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .graph import UpdateBatch
+
+__all__ = ["read_update_batches", "write_update_batches"]
+
+#: Line that separates consecutive batches in a trace file.
+BATCH_SEPARATOR = "%%"
+
+
+def _build_batch(insertions: list[tuple[int, int]], deletions: list[tuple[int, int]],
+                 weight_entries: list[tuple[int, int, float]],
+                 num_dimensions: int) -> UpdateBatch:
+    if weight_entries:
+        vertices = sorted({vertex for vertex, _, _ in weight_entries})
+        column = {vertex: i for i, vertex in enumerate(vertices)}
+        deltas = np.zeros((num_dimensions, len(vertices)))
+        for vertex, dimension, delta in weight_entries:
+            if not 0 <= dimension < num_dimensions:
+                raise ValueError(
+                    f"weight dimension {dimension} out of range 0..{num_dimensions - 1}")
+            deltas[dimension, column[vertex]] += delta
+        weight_vertices = np.asarray(vertices, dtype=np.int64)
+    else:
+        weight_vertices, deltas = None, None
+    return UpdateBatch(insertions=np.asarray(insertions, dtype=np.int64).reshape(-1, 2),
+                       deletions=np.asarray(deletions, dtype=np.int64).reshape(-1, 2),
+                       weight_vertices=weight_vertices, weight_deltas=deltas)
+
+
+def read_update_batches(path: str | Path, num_dimensions: int = 1,
+                        comment: str = "#") -> list[UpdateBatch]:
+    """Parse a trace file into a list of :class:`UpdateBatch` es."""
+    batches: list[UpdateBatch] = []
+    insertions: list[tuple[int, int]] = []
+    deletions: list[tuple[int, int]] = []
+    weight_entries: list[tuple[int, int, float]] = []
+
+    def flush() -> None:
+        nonlocal insertions, deletions, weight_entries
+        if insertions or deletions or weight_entries:
+            batches.append(_build_batch(insertions, deletions, weight_entries,
+                                        num_dimensions))
+        insertions, deletions, weight_entries = [], [], []
+
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comment):
+            continue
+        if stripped == BATCH_SEPARATOR:
+            flush()
+            continue
+        parts = stripped.split()
+        if parts[0] == "+" and len(parts) == 3:
+            insertions.append((int(parts[1]), int(parts[2])))
+        elif parts[0] == "-" and len(parts) == 3:
+            deletions.append((int(parts[1]), int(parts[2])))
+        elif parts[0] == "w" and len(parts) == 4:
+            weight_entries.append((int(parts[1]), int(parts[2]), float(parts[3])))
+        else:
+            raise ValueError(f"malformed update line: {line!r}")
+    flush()
+    return batches
+
+
+def write_update_batches(batches: Sequence[UpdateBatch], path: str | Path) -> None:
+    """Write a trace readable by :func:`read_update_batches`."""
+    lines: list[str] = []
+    written = 0
+    for batch in batches:
+        if batch.is_empty:
+            continue
+        if written:
+            lines.append(BATCH_SEPARATOR)
+        written += 1
+        for u, v in batch.insertions:
+            lines.append(f"+ {int(u)} {int(v)}")
+        for u, v in batch.deletions:
+            lines.append(f"- {int(u)} {int(v)}")
+        for column, vertex in enumerate(batch.weight_vertices):
+            for dimension in range(batch.weight_deltas.shape[0]):
+                delta = float(batch.weight_deltas[dimension, column])
+                if delta != 0.0:
+                    lines.append(f"w {int(vertex)} {dimension} {delta:.12g}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -22,6 +22,7 @@ from .graph import Graph
 
 __all__ = [
     "chung_lu_graph",
+    "churn_trace",
     "planted_partition_graph",
     "power_law_cluster_graph",
     "random_regular_graph",
@@ -193,6 +194,96 @@ def power_law_cluster_graph(
     else:
         edges = np.empty((0, 2), dtype=np.int64)
     return Graph.from_edges(num_vertices, edges)
+
+
+def churn_trace(
+    graph: Graph,
+    num_batches: int,
+    churn_fraction: float = 0.01,
+    seed: int | np.random.Generator | None = None,
+    exponent: float = 2.5,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Generate a deterministic edge-churn trace over ``graph``.
+
+    Each batch deletes ``churn_fraction`` of the *current* edges (chosen
+    uniformly) and inserts up to the same number of fresh edges whose
+    endpoints are sampled degree-biased (so the power-law shape of the
+    social-graph presets survives the churn), giving the (approximately)
+    edge-count-stationary update stream the dynamic-graph experiments
+    replay.  On sparse graphs insertions always match deletions; on
+    near-complete graphs — where fewer fresh edge slots may exist than
+    requested, since a batch never re-inserts an edge it deletes — a
+    batch may carry fewer insertions rather than loop forever.  Batches
+    are consistent by construction: no batch inserts an existing edge,
+    deletes a missing one, or both inserts and deletes the same edge —
+    exactly the contract :meth:`repro.dynamic.DynamicGraph.apply`
+    enforces.
+
+    Returns one ``(insertions, deletions)`` pair of ``(c, 2)`` int64
+    arrays per batch (the caller wraps them into
+    :class:`repro.dynamic.UpdateBatch` es, optionally adding weight
+    deltas).  The trace only depends on ``graph``, the parameters and the
+    ``seed``.
+    """
+    if num_batches < 0:
+        raise ValueError("num_batches must be non-negative")
+    if not 0.0 < churn_fraction < 1.0:
+        raise ValueError("churn_fraction must be in (0, 1)")
+    rng = _rng(seed)
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("churn requires at least two vertices")
+    scale = np.int64(n)
+    # The live edge set, kept both as a sorted key array (spliced per
+    # batch — O(delta log m) searches plus a memcpy, never a per-batch
+    # re-sort) and as a hash set for the O(1) membership probes of the
+    # insertion sampler.
+    keys = np.sort(graph.edges[:, 0] * scale + graph.edges[:, 1])
+    edge_keys = set(keys.tolist())
+    # Endpoint bias from the *initial* degrees: recomputing degrees per
+    # batch would make the trace cost O(n) per batch for no modelling
+    # gain at these churn rates.
+    bias = np.maximum(graph.degrees, 1.0)
+    probabilities = bias / bias.sum()
+
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    for _ in range(num_batches):
+        count = max(1, int(churn_fraction * keys.size))
+        delete_keys = rng.choice(keys, size=min(count, keys.size), replace=False)
+        deletions = np.column_stack([delete_keys // scale, delete_keys % scale])
+        blocked = set(delete_keys.tolist())
+
+        # Candidate endpoints are drawn in vectorized blocks (one cumsum
+        # of the bias vector per block, not per candidate) and filtered;
+        # the attempt budget bounds the loop on dense graphs, where fewer
+        # fresh slots than ``count`` may exist.
+        insertions: list[tuple[int, int]] = []
+        attempts_left = 16
+        while len(insertions) < count and attempts_left:
+            attempts_left -= 1
+            draws = rng.choice(n, size=(2 * count, 2), p=probabilities)
+            for u, v in draws:
+                lo, hi = (int(u), int(v)) if u < v else (int(v), int(u))
+                if lo == hi:
+                    continue
+                key = lo * int(scale) + hi
+                if key in edge_keys or key in blocked:
+                    continue
+                blocked.add(key)
+                insertions.append((lo, hi))
+                if len(insertions) == count:
+                    break
+        insert_array = np.asarray(insertions, dtype=np.int64).reshape(-1, 2)
+        insert_keys = np.sort(insert_array[:, 0] * scale + insert_array[:, 1])
+
+        keep = np.ones(keys.size, dtype=bool)
+        keep[np.searchsorted(keys, delete_keys)] = False
+        kept = keys[keep]
+        keys = np.insert(kept, np.searchsorted(kept, insert_keys), insert_keys)
+        edge_keys.difference_update(delete_keys.tolist())
+        edge_keys.update(insert_keys.tolist())
+        batches.append((insert_array, deletions))
+    return batches
 
 
 def random_regular_graph(num_vertices: int, degree: int,

@@ -142,6 +142,75 @@ class TestEvaluateCommand:
         assert main(["evaluate", str(graph_file), str(bad)]) == 2
 
 
+class TestRepartitionCommand:
+    def test_repartition_defaults(self):
+        args = build_parser().parse_args(
+            ["repartition", "g.txt", "parts.txt", "updates.txt"])
+        assert args.weights == ["unit", "degree"]
+        assert args.hops is None and args.damage_threshold is None
+        assert args.parallelism == "serial"
+
+    def test_repartition_roundtrip(self, graph_file, tmp_path, capsys):
+        """Partition, churn, repair: the repaired assignment is written and
+        the per-batch repair-vs-recompute report is printed."""
+        from repro.dynamic import UpdateBatch, write_update_batches
+        from repro.graphs import churn_trace
+
+        parts = tmp_path / "parts.txt"
+        assert main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "15", "--output", str(parts)]) == 0
+        graph = read_edge_list(graph_file)
+        trace = churn_trace(graph, 2, 0.02, seed=4)
+        updates = tmp_path / "updates.txt"
+        write_update_batches(
+            [UpdateBatch(insertions=ins, deletions=dels) for ins, dels in trace],
+            updates)
+        capsys.readouterr()
+
+        repaired = tmp_path / "repaired.txt"
+        code = main(["repartition", str(graph_file), str(parts), str(updates),
+                     "--iterations", "15", "--repair-iterations", "5",
+                     "--output", str(repaired)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "batch 0:" in captured and "batch 1:" in captured
+        assert "work ratio" in captured
+        assignment = read_partition(repaired)
+        assert assignment.shape == (graph.num_vertices,)
+        assert set(np.unique(assignment)).issubset({0, 1, 2, 3})
+
+    def test_repartition_length_mismatch(self, graph_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\n1\n")
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 1\n")
+        assert main(["repartition", str(graph_file), str(bad),
+                     str(updates)]) == 2
+
+    def test_repartition_parts_override(self, graph_file, tmp_path, capsys):
+        """--parts protects against silently shrinking k when the
+        highest-numbered part happens to be empty in the input."""
+        graph = read_edge_list(graph_file)
+        parts = tmp_path / "parts.txt"
+        # Parts 0/1 populated, part 2 empty: inference would say k=2.
+        assignment = np.arange(graph.num_vertices) % 2
+        parts.write_text("\n".join(str(p) for p in assignment) + "\n")
+        updates = tmp_path / "updates.txt"
+        updates.write_text("# empty batch\n")
+        out = tmp_path / "repaired.txt"
+        assert main(["repartition", str(graph_file), str(parts), str(updates),
+                     "--parts", "3", "--iterations", "10",
+                     "--output", str(out)]) == 0
+        assert "parts:          3" in capsys.readouterr().out
+        # And an assignment carrying ids beyond --parts is rejected.
+        assert main(["repartition", str(graph_file), str(parts), str(updates),
+                     "--parts", "1"]) == 2
+        # Negative part ids get the same clean error path, not a traceback.
+        parts.write_text("\n".join("-1" for _ in range(graph.num_vertices)) + "\n")
+        assert main(["repartition", str(graph_file), str(parts),
+                     str(updates)]) == 2
+
+
 class TestGenerateCommand:
     def test_generate_preset(self, tmp_path, capsys):
         output = tmp_path / "lj.txt"

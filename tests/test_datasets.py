@@ -38,8 +38,8 @@ class TestPresets:
         assert np.array_equal(a.edges, b.edges)
 
     def test_named_helpers_match_load(self):
-        assert livejournal_like(scale=0.2, seed=1).num_vertices == \
-            load_dataset("livejournal", scale=0.2, seed=1).num_vertices
+        assert (livejournal_like(scale=0.2, seed=1).num_vertices
+                == load_dataset("livejournal", scale=0.2, seed=1).num_vertices)
         assert orkut_like(scale=0.2).num_edges == load_dataset("orkut", scale=0.2).num_edges
 
     def test_orkut_denser_than_livejournal(self):

@@ -110,6 +110,40 @@ class TestEngineAccounting:
         with pytest.raises(ValueError):
             engine.run(social_graph, placement, PageRank(supersteps=1))
 
+    def test_same_size_different_graph_rejected(self, social_graph):
+        """Regression: a placement computed for a *different* graph used to
+        slip through when the vertex counts happened to match — the edge
+        content is compared now (the edge-churn case: a stale snapshot's
+        partition must be rewrapped over the updated graph explicitly)."""
+        from repro.graphs import Graph
+
+        engine = BSPEngine()
+        stale = Graph.from_edges(social_graph.num_vertices,
+                                 social_graph.edges[:-1])
+        placement = Partition.trivial(stale, num_parts=1)
+        assert stale.num_vertices == social_graph.num_vertices
+        with pytest.raises(ValueError, match="different graph"):
+            engine.run(social_graph, placement, PageRank(supersteps=1))
+        # Edge-count-stationary churn (one edge rewired) must be caught
+        # too: the counts match, the content does not.
+        present = {(int(a), int(b)) for a, b in social_graph.edges}
+        replacement = next(
+            (a, b)
+            for a in range(social_graph.num_vertices)
+            for b in range(a + 1, social_graph.num_vertices)
+            if (a, b) not in present)
+        rewired_edges = social_graph.edges.copy()
+        rewired_edges[0] = replacement
+        rewired = Graph.from_edges(social_graph.num_vertices, rewired_edges)
+        assert rewired.num_edges == social_graph.num_edges
+        with pytest.raises(ValueError, match="different graph"):
+            engine.run(social_graph, Partition.trivial(rewired, num_parts=1),
+                       PageRank(supersteps=1))
+        # Rewrapping the same assignment over the served graph is accepted.
+        rewrapped = Partition(graph=social_graph,
+                              assignment=placement.assignment, num_parts=1)
+        engine.run(social_graph, rewrapped, PageRank(supersteps=1))
+
     def test_max_supersteps_override(self, social_graph):
         engine = BSPEngine()
         placement = _split_placement(social_graph)

@@ -96,8 +96,8 @@ class TestFigureRunners:
                                   algorithms=("Spinner", "GD"))
         by_algorithm = {row["algorithm"]: row for row in rows if row["k"] == 2}
         # GD must be (much) better balanced than Spinner on a skewed graph.
-        assert by_algorithm["GD"]["vertex_imbalance"] <= \
-            by_algorithm["Spinner"]["vertex_imbalance"] + 0.05
+        assert (by_algorithm["GD"]["vertex_imbalance"]
+                <= by_algorithm["Spinner"]["vertex_imbalance"] + 0.05)
         assert fig4_imbalance.format_result(rows)
 
     def test_fig5_gd_beats_hash(self):

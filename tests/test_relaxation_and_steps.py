@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import GDConfig, NoiseSchedule, QuadraticRelaxation, StepSizeController, \
-    target_step_length
+from repro.core import (
+    GDConfig,
+    NoiseSchedule,
+    QuadraticRelaxation,
+    StepSizeController,
+    target_step_length,
+)
 
 
 class TestQuadraticRelaxation:

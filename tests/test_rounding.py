@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core import balance_repair, deterministic_round, randomized_round
 from repro.graphs import Graph, unit_weights
@@ -91,6 +92,31 @@ class TestBalanceRepair:
         graph = Graph.from_edges(0, [])
         repaired = balance_repair(graph, np.empty(0), np.empty((1, 0)), epsilon=0.1)
         assert repaired.size == 0
+
+    def test_movable_none_is_bit_identical(self, social_graph, social_weights):
+        rng = np.random.default_rng(7)
+        sides = np.where(rng.random(social_graph.num_vertices) < 0.8, 1.0, -1.0)
+        default = balance_repair(social_graph, sides, social_weights, epsilon=0.05)
+        all_movable = balance_repair(social_graph, sides, social_weights, epsilon=0.05,
+                                     movable=np.ones(social_graph.num_vertices, bool))
+        np.testing.assert_array_equal(default, all_movable)
+
+    def test_movable_mask_confines_flips(self, clique_ring):
+        graph = clique_ring
+        weights = unit_weights(graph)[None, :]
+        sides = np.ones(graph.num_vertices)
+        movable = np.zeros(graph.num_vertices, dtype=bool)
+        movable[:graph.num_vertices // 2] = True
+        repaired = balance_repair(graph, sides, weights, epsilon=0.05,
+                                  movable=movable)
+        assert np.array_equal(repaired[~movable], sides[~movable])
+
+    def test_movable_shape_validated(self, clique_ring):
+        graph = clique_ring
+        weights = unit_weights(graph)[None, :]
+        with pytest.raises(ValueError, match="movable"):
+            balance_repair(graph, np.ones(graph.num_vertices), weights,
+                           epsilon=0.05, movable=np.ones(3, dtype=bool))
 
     def test_prefers_low_damage_moves(self, two_cliques_graph):
         # Starting from everything in one part, the repair must end balanced;
