@@ -37,6 +37,14 @@ the cross-run trajectory is visible directly in the workflow step summary
 instead of requiring an artifact download::
 
     python benchmarks/perf_guard.py history --limit 8
+
+``record`` appends arbitrary named metrics (not pytest-benchmark
+timings) to the same history file — the nightly serve-session lane uses
+it to track ``lookups_per_sec`` / ``repair_lag_batches`` from the load
+driver's JSON report alongside the microbenchmark medians::
+
+    python benchmarks/perf_guard.py record serve_report.json \
+        --label serve --keys lookups_per_sec p50_ms p99_ms repair_lag_batches
 """
 
 from __future__ import annotations
@@ -219,6 +227,38 @@ def append_history(distilled: dict, rows: list[dict],
     return path
 
 
+def record_metrics(values: dict, label: str = "",
+                   path: Path = HISTORY_PATH) -> Path:
+    """Append one line of named scalar metrics to the perf trajectory.
+
+    Unlike :func:`append_history` these are not millisecond medians —
+    throughputs, lag counts, percentiles — so they land under a separate
+    ``metrics`` key (``<label>:<name>`` when a label is given) and the
+    history renderer prints them unit-free.
+    """
+    import platform
+
+    metrics = {}
+    for name, value in values.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[f"{label}:{name}" if label else name] = float(value)
+    if not metrics:
+        raise ValueError("no numeric metrics to record")
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _current_commit(),
+        "machine": platform.node() or "unknown",
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"[{len(metrics)} metric(s) appended to {path}]")
+    return path
+
+
 def _load_history(path: Path) -> list[dict]:
     """Parse the append-only history file, skipping unreadable lines (a
     truncated tail from an interrupted run must not kill the report)."""
@@ -254,13 +294,16 @@ def render_history(entries: list[dict], limit: int) -> str:
         labels.append(commit[:7] if commit != "unknown" else "unknown")
     names = sorted({name for entry in entries
                     for name in entry.get("medians_ms", {})})
+    metric_names = sorted({name for entry in entries
+                           for name in entry.get("metrics", {})})
 
     status_marks = {"FAIL": " ❌", "new": " 🆕", "missing": " ⚠️"}
     lines = [
         "## Perf history",
         "",
         f"Median per run in ms, oldest → newest (last {len(entries)} recorded "
-        "runs; ❌ = failed the guard, 🆕 = no baseline at the time).",
+        "runs; ❌ = failed the guard, 🆕 = no baseline at the time). Rows "
+        "recorded via `perf_guard.py record` are unit-free metrics.",
         "",
         "| benchmark | " + " | ".join(labels) + " |",
         "| --- |" + " ---: |" * len(labels),
@@ -274,6 +317,17 @@ def render_history(entries: list[dict], limit: int) -> str:
                 continue
             mark = status_marks.get(entry.get("statuses", {}).get(name, "ok"), "")
             cells.append(f"{median:.3f}{mark}")
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    for name in metric_names:
+        cells = []
+        for entry in entries:
+            value = entry.get("metrics", {}).get(name)
+            if value is None:
+                cells.append("—")
+            elif abs(value) >= 1000:
+                cells.append(f"{value:,.0f}")
+            else:
+                cells.append(f"{value:.3f}")
         lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
     return "\n".join(lines) + "\n"
 
@@ -300,7 +354,38 @@ def main(argv: list[str] | None = None) -> int:
     history.add_argument("--limit", type=int, default=10,
                          help="number of most recent runs to show")
 
+    record = subparsers.add_parser(
+        "record", help="append named metrics from a JSON report to the history")
+    record.add_argument("metrics_json", type=Path,
+                        help="JSON object of metric name -> numeric value "
+                             "(e.g. `repro serve bench --json` output)")
+    record.add_argument("--label", default="",
+                        help="prefix recorded names as <label>:<name>")
+    record.add_argument("--keys", nargs="+", default=None,
+                        help="record only these keys (default: every "
+                             "numeric field)")
+    record.add_argument("--history-file", type=Path, default=HISTORY_PATH)
+
     args = parser.parse_args(argv)
+
+    if args.command == "record":
+        values = json.loads(args.metrics_json.read_text(encoding="utf-8"))
+        if not isinstance(values, dict):
+            print("error: metrics JSON must be an object", file=sys.stderr)
+            return 2
+        if args.keys is not None:
+            missing = [key for key in args.keys if key not in values]
+            if missing:
+                print(f"error: keys not in the report: {', '.join(missing)}",
+                      file=sys.stderr)
+                return 2
+            values = {key: values[key] for key in args.keys}
+        try:
+            record_metrics(values, label=args.label, path=args.history_file)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.command == "history":
         table = render_history(_load_history(args.history_file), args.limit)

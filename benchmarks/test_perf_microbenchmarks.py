@@ -579,3 +579,39 @@ def test_perf_pagerank_superstep(benchmark):
     program = PageRank(supersteps=1)
     benchmark.pedantic(lambda: engine.run(GRAPH, placement, program),
                        rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_perf_store_graph_roundtrip(benchmark, tmp_path):
+    """Persisting + reloading the fb-80 graph through the partition store
+    (sqlite catalog row + npy sidecar + from_edges rebuild) — the cost of
+    a `repro store put` / serve boot pair."""
+    from repro.store import PartitionStore
+
+    graph = fb_like(80, scale=1.0, seed=0)
+    store = PartitionStore(tmp_path / "bench.sqlite")
+    counter = itertools.count()
+
+    def roundtrip():
+        name = f"graph-{next(counter)}"
+        store.put_graph(name, graph)
+        return store.get_graph(name)
+
+    try:
+        benchmark.pedantic(roundtrip, rounds=5, iterations=1, warmup_rounds=1)
+    finally:
+        store.close()
+
+
+def test_perf_serve_lookup_batch(benchmark):
+    """One maximum-size (65536-id, Zipf-skewed) lookup against the
+    in-memory service — the hot path under every TCP request, without the
+    codec."""
+    from repro.serve import PartitionService, ServeConfig
+    from repro.serve.load import zipf_ids
+
+    graph, weights, config, initial, _ = _churn_workload()
+    service = PartitionService(graph, weights, initial.assignment, 8,
+                               config=config,
+                               serve_config=ServeConfig(port=0))
+    ids = zipf_ids(graph.num_vertices, 65536, skew=1.0, seed=2)
+    benchmark(lambda: service.lookup(ids))

@@ -1,7 +1,22 @@
 """Ensure the in-repo sources are importable when the package is not installed."""
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# Pinned hypothesis profile for CI: derandomized (a fixed seed per test,
+# so a red run is reproducible from the log alone) and with the deadline
+# disabled (shared CI machines make per-example wall-clock limits flaky).
+# Select it with HYPOTHESIS_PROFILE=ci; local runs keep the default
+# randomized exploration.
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is optional outside the test environment
+    pass
+else:
+    settings.register_profile("ci", deadline=None, derandomize=True,
+                              print_blob=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

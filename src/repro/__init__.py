@@ -14,6 +14,11 @@ arXiv:1902.03522, 2019).  The package contains:
   Connected Components, Mutual Friends and Hypergraph Clustering;
 * :mod:`repro.dynamic` — the dynamic-graph engine: batched edge/weight
   updates on a live CSR and incremental repartitioning under churn;
+* :mod:`repro.store` — the sqlite-backed catalog of graphs, assignments
+  and run metrics (``repro store`` on the CLI);
+* :mod:`repro.serve` — the partition-serving service: lookups and k-way
+  routing over an atomically-swapped assignment while churn is repaired
+  in the background (``repro serve`` on the CLI);
 * :mod:`repro.experiments` — one runner per table / figure of the paper.
 
 Quickstart::
@@ -28,7 +33,17 @@ Quickstart::
     print(edge_locality(partition), max_imbalance(partition, weights))
 """
 
-from . import baselines, core, distributed, dynamic, experiments, graphs, partition
+from . import (
+    baselines,
+    core,
+    distributed,
+    dynamic,
+    experiments,
+    graphs,
+    partition,
+    serve,
+    store,
+)
 from .core import GDConfig, GDPartitioner, gd_bisect, recursive_bisection
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
@@ -46,6 +61,8 @@ __all__ = [
     "experiments",
     "graphs",
     "partition",
+    "serve",
+    "store",
     "GDConfig",
     "GDPartitioner",
     "gd_bisect",

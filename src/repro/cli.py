@@ -23,6 +23,17 @@ Subcommands
     through the dynamic-graph engine (local repair or full recompute,
     chosen by damage), and write the repaired assignment with a
     repair-vs-recompute report per batch.
+``store``
+    Manage the sqlite-backed partition store (``init`` / ``put`` /
+    ``get`` / ``ls``): a durable catalog of graphs, assignments and
+    per-run metrics that survives the process and feeds ``serve``.
+``serve``
+    ``serve run`` boots the lookup service from a store (vertex→part
+    lookups, routing and fanout queries over TCP while churn is repaired
+    in the background; SIGTERM shuts it down cleanly).  ``serve bench``
+    replays Zipf-skewed lookup traffic against a live service and
+    reports lookups/sec, p50/p99 latency and the repair lag, with
+    optional pass/fail floors for CI.
 """
 
 from __future__ import annotations
@@ -187,6 +198,101 @@ def build_parser() -> argparse.ArgumentParser:
     repartition.add_argument("--seed", type=int, default=0)
     repartition.add_argument("--output",
                              help="write the repaired part-per-line assignment")
+
+    store = subparsers.add_parser("store", help="manage the partition store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_init = store_sub.add_parser("init", help="initialize a fresh store")
+    store_init.add_argument("store", help="sqlite database file to create")
+    store_put = store_sub.add_parser(
+        "put", help="store a graph and/or an assignment")
+    store_put.add_argument("store", help="sqlite database file")
+    store_put.add_argument("name", help="graph name in the store")
+    store_put.add_argument("graph", nargs="?", default=None,
+                           help="whitespace edge list to store (omit to attach "
+                                "an assignment to an already-stored graph)")
+    store_put.add_argument("--edge-format", choices=("npy", "parquet"),
+                           default="npy",
+                           help="sidecar format of the edge array (parquet "
+                                "needs pyarrow)")
+    store_put.add_argument("--assignment", default=None, metavar="FILE",
+                           help="part-per-line assignment to store alongside")
+    store_put.add_argument("--assignment-name", default="initial", metavar="NAME",
+                           help="name of the stored assignment")
+    store_put.add_argument("--parts", type=int, default=None,
+                           help="number of parts k of the assignment "
+                                "(default: max part id + 1)")
+    store_put.add_argument("--replace", action="store_true",
+                           help="overwrite an existing assignment of that name")
+    store_get = store_sub.add_parser(
+        "get", help="export a stored graph or assignment")
+    store_get.add_argument("store", help="sqlite database file")
+    store_get.add_argument("name", help="graph name in the store")
+    store_get.add_argument("--output", default=None, metavar="FILE",
+                           help="write the graph as a whitespace edge list")
+    store_get.add_argument("--assignment-name", default=None, metavar="NAME",
+                           help="fetch this assignment instead of the graph")
+    store_get.add_argument("--assignment-output", default=None, metavar="FILE",
+                           help="write the fetched assignment part-per-line")
+    store_ls = store_sub.add_parser("ls", help="list the store contents")
+    store_ls.add_argument("store", help="sqlite database file")
+
+    serve = subparsers.add_parser("serve", help="partition-serving service")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run", help="serve lookups from a stored graph + assignment")
+    serve_run.add_argument("store", help="sqlite database file")
+    serve_run.add_argument("graph", help="graph name in the store")
+    serve_run.add_argument("assignment", help="assignment name in the store")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=7171,
+                           help="TCP port (0 binds an ephemeral port, "
+                                "reported in the ready log line)")
+    serve_run.add_argument("--weights", nargs="+", default=["unit", "degree"],
+                           choices=sorted(WEIGHT_FUNCTIONS),
+                           help="balance dimensions the assignment was built "
+                                "with (rebuilt from the stored topology)")
+    serve_run.add_argument("--epsilon", type=float, default=0.05,
+                           help="balance tolerance of the background repairs")
+    serve_run.add_argument("--iterations", type=int, default=60,
+                           help="GD iterations of the recompute fallback")
+    serve_run.add_argument("--max-queue", type=int, default=64,
+                           help="pending churn batches before ingest requests "
+                                "are rejected (backpressure)")
+    serve_run.add_argument("--drain-seconds", type=float, default=30.0,
+                           help="graceful-shutdown budget for draining "
+                                "pending churn batches")
+    serve_run.add_argument("--seed", type=int, default=0)
+    serve_bench = serve_sub.add_parser(
+        "bench", help="replay Zipf-skewed lookup load against a live service")
+    serve_bench.add_argument("--host", default="127.0.0.1")
+    serve_bench.add_argument("--port", type=int, default=7171)
+    serve_bench.add_argument("--lookups", type=int, default=50_000,
+                             help="total vertex ids to look up")
+    serve_bench.add_argument("--batch-size", type=int, default=256,
+                             help="ids per lookup request")
+    serve_bench.add_argument("--skew", type=float, default=1.0,
+                             help="Zipf exponent of the vertex popularity "
+                                  "(0 = uniform)")
+    serve_bench.add_argument("--churn-batches", type=int, default=0,
+                             help="server-generated churn batches interleaved "
+                                  "with the lookup stream")
+    serve_bench.add_argument("--churn-fraction", type=float, default=0.01,
+                             help="edge fraction churned per batch")
+    serve_bench.add_argument("--wait-seconds", type=float, default=0.0,
+                             help="retry the initial connect for this long "
+                                  "(for servers booting in the background)")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--json", default=None, metavar="FILE",
+                             help="also write the report as JSON")
+    serve_bench.add_argument("--min-lookups-per-sec", type=float, default=None,
+                             metavar="QPS",
+                             help="fail (exit 1) below this throughput")
+    serve_bench.add_argument("--max-repair-lag", type=int, default=None,
+                             metavar="N",
+                             help="fail (exit 1) if more than N churn batches "
+                                  "are still unapplied at the end of the run")
+    serve_bench.add_argument("--shutdown", action="store_true",
+                             help="send a shutdown request after the run")
     return parser
 
 
@@ -228,10 +334,23 @@ def _run_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail(message: str) -> int:
+    """One-line error on stderr + the conventional bad-input exit code.
+
+    Bad input (malformed files, unknown trace ops, missing paths) is an
+    operator mistake, not a crash — it must never surface as a raw
+    traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _run_evaluate(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.graph)
-    weights = weight_matrix(graph, args.weights)
-    assignment = read_partition(args.assignment)
+    try:
+        graph = read_edge_list(args.graph)
+        weights = weight_matrix(graph, args.weights)
+        assignment = read_partition(args.assignment)
+    except (OSError, ValueError) as error:
+        return _fail(str(error))
     if assignment.shape[0] != graph.num_vertices:
         print("error: assignment length does not match the number of vertices",
               file=sys.stderr)
@@ -252,21 +371,24 @@ def _run_generate(args: argparse.Namespace) -> int:
 def _run_repartition(args: argparse.Namespace) -> int:
     from .dynamic import DynamicGraph, IncrementalRepartitioner, read_update_batches
 
-    graph = read_edge_list(args.graph)
-    weights = weight_matrix(graph, args.weights)
-    assignment = read_partition(args.assignment)
+    try:
+        graph = read_edge_list(args.graph)
+        weights = weight_matrix(graph, args.weights)
+        assignment = read_partition(args.assignment)
+    except (OSError, ValueError) as error:
+        return _fail(str(error))
     if assignment.shape[0] != graph.num_vertices:
-        print("error: assignment length does not match the number of vertices",
-              file=sys.stderr)
-        return 2
+        return _fail("assignment length does not match the number of vertices")
     num_parts = (args.parts if args.parts is not None
                  else int(assignment.max(initial=0)) + 1)
     if int(assignment.min(initial=0)) < 0 or int(assignment.max(initial=0)) >= num_parts:
-        print(f"error: assignment part ids must lie in 0..{num_parts - 1} "
-              f"(found {int(assignment.min(initial=0))}.."
-              f"{int(assignment.max(initial=0))})", file=sys.stderr)
-        return 2
-    batches = read_update_batches(args.updates, num_dimensions=weights.shape[0])
+        return _fail(f"assignment part ids must lie in 0..{num_parts - 1} "
+                     f"(found {int(assignment.min(initial=0))}.."
+                     f"{int(assignment.max(initial=0))})")
+    try:
+        batches = read_update_batches(args.updates, num_dimensions=weights.shape[0])
+    except (OSError, ValueError) as error:
+        return _fail(str(error))
 
     overrides = {}
     if args.hops is not None:
@@ -282,7 +404,10 @@ def _run_repartition(args: argparse.Namespace) -> int:
     repartitioner = IncrementalRepartitioner(dynamic, assignment, num_parts,
                                              epsilon=args.epsilon, config=config)
     for index, batch in enumerate(batches):
-        report = repartitioner.apply(batch)
+        try:
+            report = repartitioner.apply(batch)
+        except ValueError as error:
+            return _fail(f"batch {index}: {error}")
         print(f"batch {index}: {report.mode}  "
               f"damage={report.damage.total:.4f}  "
               f"locality={report.edge_locality_pct:.2f}%  "
@@ -298,6 +423,156 @@ def _run_repartition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_store(args: argparse.Namespace) -> int:
+    from .store import PartitionStore, StoreError
+
+    try:
+        if args.store_command == "init":
+            with PartitionStore.create(args.store) as store:
+                print(f"initialized store {args.store} "
+                      f"(schema v{store.schema_version})")
+            return 0
+        if args.store_command == "put":
+            if args.graph is None and args.assignment is None:
+                return _fail("nothing to store: pass an edge list and/or "
+                             "--assignment")
+            with PartitionStore(args.store) as store:
+                if args.graph is not None:
+                    graph = read_edge_list(args.graph)
+                    store.put_graph(args.name, graph,
+                                    edge_format=args.edge_format)
+                    print(f"stored graph {args.name!r}: "
+                          f"{graph.num_vertices} vertices / "
+                          f"{graph.num_edges} edges ({args.edge_format})")
+                if args.assignment is not None:
+                    assignment = read_partition(args.assignment)
+                    store.put_assignment(args.name, args.assignment_name,
+                                         assignment, num_parts=args.parts,
+                                         replace=args.replace)
+                    print(f"stored assignment {args.assignment_name!r} "
+                          f"for graph {args.name!r}")
+            return 0
+        if args.store_command == "get":
+            with PartitionStore(args.store, create=False) as store:
+                if args.assignment_name is None or args.output:
+                    graph = store.get_graph(args.name)
+                    print(f"graph {args.name!r}: {graph.num_vertices} "
+                          f"vertices / {graph.num_edges} edges")
+                    if args.output:
+                        write_edge_list(graph, args.output)
+                        print(f"edge list written to {args.output}")
+                if args.assignment_name is not None:
+                    record = store.get_assignment(args.name,
+                                                  args.assignment_name)
+                    print(f"assignment {record.name!r} of {record.graph!r}: "
+                          f"{record.assignment.shape[0]} vertices, "
+                          f"k={record.num_parts} (created {record.created_at})")
+                    if args.assignment_output:
+                        write_partition(record.assignment,
+                                        args.assignment_output)
+                        print(f"assignment written to {args.assignment_output}")
+            return 0
+        if args.store_command == "ls":
+            with PartitionStore(args.store, create=False) as store:
+                counts = store.counts()
+                print(f"store {args.store} (schema v{counts['schema_version']}): "
+                      f"{counts['graphs']} graphs, "
+                      f"{counts['assignments']} assignments, "
+                      f"{counts['metrics']} metric rows, "
+                      f"{counts['repair_traces']} repair-trace rows")
+                for record in store.graphs():
+                    print(f"  graph {record.name!r}: {record.num_vertices} "
+                          f"vertices / {record.num_edges} edges "
+                          f"[{record.edge_format}] (created {record.created_at})")
+                    for assignment in store.assignments(record.name):
+                        print(f"    assignment {assignment.name!r}: "
+                              f"k={assignment.num_parts}")
+                for run in store.runs():
+                    print(f"  run {run!r}: {len(store.metrics(run))} metric "
+                          f"rows, {len(store.repair_trace(run))} repair "
+                          f"batches")
+            return 0
+    except (StoreError, OSError, ValueError) as error:
+        return _fail(str(error))
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.serve_command == "run":
+        import logging
+        import signal
+
+        from .serve import PartitionServer, PartitionService, ServeConfig
+        from .store import StoreError
+
+        logging.basicConfig(level=logging.INFO, stream=sys.stderr,
+                            format="%(asctime)s %(name)s %(levelname)s "
+                                   "%(message)s")
+        serve_config = ServeConfig(host=args.host, port=args.port,
+                                   epsilon=args.epsilon,
+                                   max_queue=args.max_queue,
+                                   shutdown_drain_seconds=args.drain_seconds)
+        try:
+            service = PartitionService.from_store(
+                args.store, args.graph, args.assignment,
+                weight_names=tuple(args.weights),
+                config=GDConfig(iterations=args.iterations, seed=args.seed),
+                serve_config=serve_config)
+        except (StoreError, OSError, ValueError) as error:
+            return _fail(str(error))
+
+        async def _serve() -> None:
+            server = PartitionServer(service)
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, server.request_stop)
+            await server.run_until_stopped()
+
+        asyncio.run(_serve())
+        return 0
+    if args.serve_command == "bench":
+        import json
+
+        from .serve import ServiceClient, format_report, run_load
+
+        try:
+            report = run_load(args.host, args.port, num_lookups=args.lookups,
+                              batch_size=args.batch_size, skew=args.skew,
+                              seed=args.seed, churn_batches=args.churn_batches,
+                              churn_fraction=args.churn_fraction,
+                              wait_seconds=args.wait_seconds)
+        except (OSError, RuntimeError, ValueError) as error:
+            return _fail(str(error))
+        print(format_report(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report written to {args.json}")
+        if args.shutdown:
+            async def _shutdown() -> None:
+                async with ServiceClient(args.host, args.port) as client:
+                    await client.call("shutdown")
+
+            asyncio.run(_shutdown())
+            print("shutdown requested")
+        failures = []
+        if (args.min_lookups_per_sec is not None
+                and report.lookups_per_sec < args.min_lookups_per_sec):
+            failures.append(f"lookups/sec {report.lookups_per_sec:,.0f} below "
+                            f"the floor {args.min_lookups_per_sec:,.0f}")
+        if (args.max_repair_lag is not None
+                and report.repair_lag_batches > args.max_repair_lag):
+            failures.append(f"repair lag {report.repair_lag_batches} exceeds "
+                            f"the limit {args.max_repair_lag}")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    raise AssertionError(f"unhandled serve command {args.serve_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -309,6 +584,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_generate(args)
     if args.command == "repartition":
         return _run_repartition(args)
+    if args.command == "store":
+        return _run_store(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -17,7 +17,7 @@ package keeps a partition healthy while the graph changes underneath it:
   ``repro repartition`` CLI subcommand.
 """
 
-from .graph import DynamicGraph, UpdateBatch
+from .graph import DynamicGraph, UpdateBatch, degree_weight_deltas
 from .metrics import IncrementalMetrics
 from .repartition import (
     DamageScore,
@@ -30,6 +30,7 @@ from .trace import read_update_batches, write_update_batches
 __all__ = [
     "DynamicGraph",
     "UpdateBatch",
+    "degree_weight_deltas",
     "IncrementalMetrics",
     "DamageScore",
     "IncrementalRepartitioner",

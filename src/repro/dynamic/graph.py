@@ -45,7 +45,7 @@ import numpy as np
 from ..graphs.graph import Graph, _canonicalize_edges
 from ..partition.validation import validate_weights
 
-__all__ = ["DynamicGraph", "UpdateBatch"]
+__all__ = ["DynamicGraph", "UpdateBatch", "degree_weight_deltas"]
 
 
 def _as_edge_array(edges) -> np.ndarray:
@@ -111,6 +111,41 @@ class UpdateBatch:
         """Unique vertex ids incident to any update in the batch."""
         return np.unique(np.concatenate([
             self.insertions.ravel(), self.deletions.ravel(), self.weight_vertices]))
+
+
+def degree_weight_deltas(dynamic: "DynamicGraph", insertions: np.ndarray,
+                         deletions: np.ndarray,
+                         floor: float = 1e-6) -> tuple[np.ndarray, np.ndarray]:
+    """Weight deltas that keep a unit+degree weight matrix in sync.
+
+    The standard d = 2 stack balances vertex counts and degrees; edge
+    churn changes the degrees, so callers that replay churn feed the
+    weight dimension its own updates through the batch's delta channel
+    (dimension 0, the unit weights, never changes).  The floored degree
+    weight (:func:`repro.graphs.weights.degree_weights`) is reproduced
+    exactly: the delta moves a vertex from ``max(old_degree, floor)`` to
+    ``max(new_degree, floor)``.
+
+    Used by :mod:`repro.experiments.churn_replay` and by the serving
+    layer (:mod:`repro.serve`), which generates churn against its own
+    live graph.
+    """
+    n = dynamic.num_vertices
+    degree_delta = np.zeros(n, dtype=np.float64)
+    for edges, sign in ((insertions, 1.0), (deletions, -1.0)):
+        if edges.size:
+            np.add.at(degree_delta, edges.ravel(), sign)
+    vertices = np.flatnonzero(degree_delta)
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty((dynamic.num_dimensions, 0))
+    current = dynamic.weights[1, vertices]
+    # Recover the true degree from the floored weight (degrees >= 1 pass
+    # through the floor untouched; an isolated vertex sits at the floor).
+    old_degree = np.where(current <= floor, 0.0, current)
+    new_weight = np.maximum(old_degree + degree_delta[vertices], floor)
+    deltas = np.zeros((dynamic.num_dimensions, vertices.size))
+    deltas[1] = new_weight - current
+    return vertices, deltas
 
 
 class DynamicGraph:

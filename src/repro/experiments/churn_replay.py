@@ -29,51 +29,37 @@ import numpy as np
 
 from ..core import GDConfig, recursive_bisection
 from ..distributed import BSPEngine, PageRank
-from ..dynamic import DynamicGraph, IncrementalRepartitioner, UpdateBatch
+from ..dynamic import (
+    DynamicGraph,
+    IncrementalRepartitioner,
+    UpdateBatch,
+    degree_weight_deltas,
+)
 from ..graphs import churn_trace, load_dataset, standard_weights
 from ..partition import Partition, edge_locality
 from .common import DEFAULT_SCALE
 from .reporting import format_table
 
+# degree_weight_deltas moved to repro.dynamic (the serving layer needs it
+# without importing the experiments package); re-exported here for
+# callers of the original location.
 __all__ = ["run", "format_result", "degree_weight_deltas"]
 
-
-def degree_weight_deltas(dynamic: DynamicGraph, insertions: np.ndarray,
-                         deletions: np.ndarray,
-                         floor: float = 1e-6) -> tuple[np.ndarray, np.ndarray]:
-    """Weight deltas that keep a unit+degree weight matrix in sync.
-
-    The standard d = 2 stack balances vertex counts and degrees; edge
-    churn changes the degrees, so the replay feeds the weight dimension
-    its own updates through the batch's delta channel (dimension 0, the
-    unit weights, never changes).  The floored degree weight
-    (:func:`repro.graphs.weights.degree_weights`) is reproduced exactly:
-    the delta moves a vertex from ``max(old_degree, floor)`` to
-    ``max(new_degree, floor)``.
-    """
-    n = dynamic.num_vertices
-    degree_delta = np.zeros(n, dtype=np.float64)
-    for edges, sign in ((insertions, 1.0), (deletions, -1.0)):
-        if edges.size:
-            np.add.at(degree_delta, edges.ravel(), sign)
-    vertices = np.flatnonzero(degree_delta)
-    if vertices.size == 0:
-        return np.empty(0, dtype=np.int64), np.empty((dynamic.num_dimensions, 0))
-    current = dynamic.weights[1, vertices]
-    # Recover the true degree from the floored weight (degrees >= 1 pass
-    # through the floor untouched; an isolated vertex sits at the floor).
-    old_degree = np.where(current <= floor, 0.0, current)
-    new_weight = np.maximum(old_degree + degree_delta[vertices], floor)
-    deltas = np.zeros((dynamic.num_dimensions, vertices.size))
-    deltas[1] = new_weight - current
-    return vertices, deltas
+#: Per-batch metric keys persisted into the store (numeric row fields).
+_STORED_KEYS = ("damage", "locality_pct", "max_imbalance_pct",
+                "gd_iterations", "full_iterations", "work_ratio",
+                "freed_vertices", "moved_vertices", "repair_seconds",
+                "recompute_locality_pct", "locality_gap_pts",
+                "stale_superstep", "repaired_superstep")
 
 
 def run(preset: str = "fb-80", scale: float = DEFAULT_SCALE, num_parts: int = 8,
         num_batches: int = 20, churn_fraction: float = 0.01,
         gd_iterations: int = 60, seed: int = 0,
         config: GDConfig | None = None, compare_recompute: bool = True,
-        measure_supersteps: bool = True) -> list[dict]:
+        measure_supersteps: bool = True,
+        store_path: str | None = None,
+        store_run: str = "churn-replay") -> list[dict]:
     """Replay ``num_batches`` churn batches; one row per batch.
 
     ``config`` defaults to ``GDConfig(iterations=gd_iterations,
@@ -83,12 +69,29 @@ def run(preset: str = "fb-80", scale: float = DEFAULT_SCALE, num_parts: int = 8,
     solve (the expensive reference; disable for a pure-throughput
     replay).  ``measure_supersteps`` adds the simulated PageRank
     superstep latency under the stale vs repaired placement.
+
+    When ``store_path`` is given, the whole trajectory is persisted into
+    a :class:`~repro.store.PartitionStore` under the ``store_run`` label:
+    the initial graph and assignment (``<run>/graph``,
+    ``initial``/``final``), one repair report and one metric row per
+    batch — so the replay survives the process and `repro serve` can
+    boot from its final state.
     """
     config = (config if config is not None
               else GDConfig(iterations=gd_iterations, seed=seed))
     graph = load_dataset(preset, scale=scale, seed=seed)
     weights = standard_weights(graph, 2)
     initial = recursive_bisection(graph, weights, num_parts, 0.05, config)
+
+    store = None
+    if store_path is not None:
+        from ..store import PartitionStore
+
+        store = PartitionStore(store_path)
+        graph_name = f"{store_run}/graph"
+        store.put_graph(graph_name, graph)
+        store.put_assignment(graph_name, "initial", initial.assignment,
+                             num_parts=num_parts)
 
     dynamic = DynamicGraph(graph, weights)
     repartitioner = IncrementalRepartitioner(dynamic, initial.assignment,
@@ -146,7 +149,17 @@ def run(preset: str = "fb-80", scale: float = DEFAULT_SCALE, num_parts: int = 8,
                                            program)
             row["stale_superstep"] = stale_latency
             row["repaired_superstep"] = repaired_stats.supersteps[0].duration
+        if store is not None:
+            store.put_repair_report(store_run, index, report)
+            store.put_metrics(store_run,
+                              {key: float(row[key]) for key in _STORED_KEYS
+                               if key in row}, batch=index)
         rows.append(row)
+    if store is not None:
+        store.put_assignment(f"{store_run}/graph", "final",
+                             repartitioner.assignment, num_parts=num_parts,
+                             replace=True)
+        store.close()
     return rows
 
 

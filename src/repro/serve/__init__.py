@@ -1,0 +1,34 @@
+"""Partition serving: low-latency lookups over a repairing assignment.
+
+The paper's partitions exist to be *served* — a request router asks
+"which shard owns vertex v" millions of times between repartitions.
+This package is that consumer:
+
+* :class:`PartitionService` — in-memory core: vertex→part lookups,
+  routing and fanout queries answered from an atomically-swapped
+  assignment while a background worker absorbs churn through the
+  :class:`~repro.dynamic.IncrementalRepartitioner`;
+* :class:`PartitionServer` — asyncio TCP front end speaking the
+  newline-delimited JSON protocol of :mod:`repro.serve.protocol`;
+* :class:`ServiceClient` — minimal client (load driver, CLI, tests);
+* :func:`run_load` / :func:`drive` — the Zipf-skewed load driver behind
+  ``repro serve bench`` and the CI service-smoke lane;
+* :class:`ServeConfig` — the service-level knobs.
+"""
+
+from .config import ServeConfig
+from .load import LoadReport, drive, format_report, run_load
+from .protocol import MAX_LINE_BYTES, ServiceClient
+from .service import PartitionServer, PartitionService
+
+__all__ = [
+    "ServeConfig",
+    "LoadReport",
+    "drive",
+    "format_report",
+    "run_load",
+    "MAX_LINE_BYTES",
+    "ServiceClient",
+    "PartitionServer",
+    "PartitionService",
+]

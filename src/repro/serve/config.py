@@ -1,0 +1,67 @@
+"""Configuration of the partition-serving service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of :class:`~repro.serve.PartitionService` and its TCP
+    front end.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address of the lookup service.  ``port=0`` binds an
+        ephemeral port (the tests' mode; the bound port is reported by
+        :attr:`PartitionServer.port` and in the ready log line).
+    epsilon:
+        Balance tolerance handed to the incremental repartitioner.
+    max_queue:
+        Backpressure bound on the churn queue: ``update``/``churn``
+        requests beyond this many pending batches are rejected with an
+        error response instead of letting an overloaded repair worker
+        fall arbitrarily far behind traffic.
+    lookup_chunk:
+        Maximum vertex ids accepted in a single lookup/fanout request
+        (bounds per-request memory and keeps one giant request from
+        stalling the event loop).
+    degree_weight_dimension:
+        Weight-matrix row kept in sync with vertex degrees as churn is
+        ingested (the standard unit+degree stack uses row 1).  ``None``
+        disables the sync — required when the service is run with weight
+        stacks whose dimensions are not degrees.
+    shutdown_drain_seconds:
+        How long a graceful shutdown waits for the repair worker to
+        drain pending churn batches before abandoning them.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7171
+    epsilon: float = 0.05
+    max_queue: int = 64
+    lookup_chunk: int = 65536
+    degree_weight_dimension: int | None = 1
+    shutdown_drain_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in 0..65535")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.lookup_chunk < 1:
+            raise ValueError("lookup_chunk must be at least 1")
+        if (self.degree_weight_dimension is not None
+                and self.degree_weight_dimension < 0):
+            raise ValueError("degree_weight_dimension must be non-negative")
+        if self.shutdown_drain_seconds < 0:
+            raise ValueError("shutdown_drain_seconds must be non-negative")
+
+    def with_updates(self, **changes) -> "ServeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

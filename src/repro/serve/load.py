@@ -1,0 +1,144 @@
+"""Zipf-skewed load driver for the lookup service.
+
+Replays the access pattern a partition-serving tier actually sees:
+lookup traffic concentrated on a small hot set (vertex popularity drawn
+from a Zipf law over a seeded rank permutation), batched the way request
+routers batch (a few hundred ids per request), optionally interleaved
+with ``churn`` requests so the repair worker is racing the read traffic.
+Reports the three numbers the smoke and nightly lanes gate on:
+**lookups/sec**, **p50/p99 request latency**, and the
+**repair-behind-traffic lag** left when the driver finishes.
+
+The driver is deliberately a *client*: it talks the TCP protocol, so the
+measured path includes the codec and the event loop — the same path a
+real consumer pays — not just the numpy gather.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from .protocol import ServiceClient
+
+__all__ = ["LoadReport", "drive", "run_load", "format_report"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one load-driver run measured.
+
+    ``lookups_per_sec`` divides ids served by time spent inside lookup
+    requests (churn sends and the final stats call excluded), so it is a
+    service-throughput number, not a scenario-wall-clock number.
+    ``repair_lag_batches`` is the service-reported ingested-minus-applied
+    gap at the end of the run — 0 means the repair worker kept up.
+    """
+
+    lookups: int
+    batches: int
+    elapsed_seconds: float
+    lookups_per_sec: float
+    p50_ms: float
+    p99_ms: float
+    churn_batches: int
+    churn_applied: int
+    churn_failed: int
+    repair_lag_batches: int
+    final_version: int
+
+    def as_dict(self) -> dict:
+        return {field: getattr(self, field) for field in (
+            "lookups", "batches", "elapsed_seconds", "lookups_per_sec",
+            "p50_ms", "p99_ms", "churn_batches", "churn_applied",
+            "churn_failed", "repair_lag_batches", "final_version")}
+
+
+def zipf_ids(num_vertices: int, num_lookups: int, skew: float,
+             seed: int) -> np.ndarray:
+    """``num_lookups`` vertex ids with Zipf(``skew``) popularity.
+
+    Rank ``r`` (1-based) is drawn with probability ∝ ``r ** -skew`` and
+    mapped to a vertex through a seeded permutation, so the hot set is a
+    random subset of vertices rather than the lowest ids (which presets
+    tend to make structurally special).  ``skew = 0`` degrades to
+    uniform.
+    """
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex to sample lookups")
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, num_vertices + 1, dtype=np.float64) ** -float(skew)
+    ranks = rng.choice(num_vertices, size=num_lookups,
+                       p=weights / weights.sum())
+    return rng.permutation(num_vertices)[ranks].astype(np.int64)
+
+
+async def drive(host: str, port: int, num_lookups: int = 50_000,
+                batch_size: int = 256, skew: float = 1.0, seed: int = 0,
+                churn_batches: int = 0, churn_fraction: float = 0.01,
+                wait_seconds: float = 0.0) -> LoadReport:
+    """Run the load scenario against a live service.
+
+    ``churn_batches`` churn requests are spread evenly across the lookup
+    stream (the first one after ~one batch of lookups), so repairs run
+    *during* the measured traffic, not before or after it.
+    """
+    client = ServiceClient(host, port)
+    await client.connect(wait_seconds=wait_seconds)
+    try:
+        stats = (await client.call("stats"))["stats"]
+        ids = zipf_ids(stats["num_vertices"], num_lookups, skew, seed)
+        num_batches = max(1, -(-num_lookups // batch_size))
+        churn_before = {round((index + 1) * num_batches / (churn_batches + 1))
+                        for index in range(churn_batches)}
+
+        loop = asyncio.get_running_loop()
+        latencies = np.empty(num_batches)
+        served = 0
+        for index in range(num_batches):
+            if index in churn_before:
+                await client.call("churn", fraction=churn_fraction,
+                                  seed=seed + index)
+            batch = ids[index * batch_size:(index + 1) * batch_size]
+            start = loop.time()
+            response = await client.call("lookup", ids=batch.tolist())
+            latencies[index] = loop.time() - start
+            served += len(response["parts"])
+
+        final = (await client.call("stats"))["stats"]
+        elapsed = float(latencies.sum())
+        return LoadReport(
+            lookups=served,
+            batches=num_batches,
+            elapsed_seconds=elapsed,
+            lookups_per_sec=served / elapsed if elapsed > 0 else float("inf"),
+            p50_ms=1e3 * float(np.percentile(latencies, 50)),
+            p99_ms=1e3 * float(np.percentile(latencies, 99)),
+            churn_batches=churn_batches,
+            churn_applied=final["batches_applied"],
+            churn_failed=final["batches_failed"],
+            repair_lag_batches=final["repair_lag"],
+            final_version=final["version"])
+    finally:
+        await client.close()
+
+
+def run_load(host: str, port: int, **kwargs) -> LoadReport:
+    """Synchronous wrapper around :func:`drive` (the CLI entry point)."""
+    return asyncio.run(drive(host, port, **kwargs))
+
+
+def format_report(report: LoadReport) -> str:
+    lines = [
+        "Load driver report",
+        f"  lookups           {report.lookups} in {report.batches} batches",
+        f"  lookups/sec       {report.lookups_per_sec:,.0f}",
+        f"  latency p50/p99   {report.p50_ms:.3f} ms / {report.p99_ms:.3f} ms",
+        f"  churn batches     {report.churn_batches} sent, "
+        f"{report.churn_applied} applied, {report.churn_failed} failed",
+        f"  repair lag        {report.repair_lag_batches} batch(es) behind",
+        f"  final version     {report.final_version}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Wire protocol of the lookup service: newline-delimited JSON over TCP.
+
+One request per line, one response per line, UTF-8, no pipelining
+requirements (responses come back in request order per connection).  The
+format is deliberately boring — every language has a line reader and a
+JSON parser, and at the batch sizes the load driver uses (hundreds of
+ids per request) the JSON overhead is far from the bottleneck, which is
+what keeps the hot path measurable as *service* work rather than codec
+work.
+
+Requests are objects with an ``op`` field:
+
+``{"op": "lookup", "ids": [v, ...]}``
+    → ``{"ok": true, "parts": [p, ...], "version": V}``
+``{"op": "route", "u": u, "v": v}``
+    → ``{"ok": true, "parts": [pu, pv], "local": bool, "version": V}``
+``{"op": "fanout", "ids": [v, ...]}``
+    → ``{"ok": true, "fanout": F, "parts": {part: count}, "version": V}``
+``{"op": "update", "insert": [[u, v], ...], "delete": [[u, v], ...]}``
+    → ``{"ok": true, "queued": depth}`` (asynchronous ingest)
+``{"op": "churn", "fraction": f, "seed": s}``
+    → ``{"ok": true, "queued": depth}`` (server-generated batch)
+``{"op": "stats"}``
+    → ``{"ok": true, "stats": {...}}``
+``{"op": "ping"}`` → ``{"ok": true}``
+``{"op": "shutdown"}`` → ``{"ok": true}`` and the server stops.
+
+Failures answer ``{"ok": false, "error": "..."}`` and keep the
+connection open; protocol-level garbage (non-JSON lines) closes it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["MAX_LINE_BYTES", "ServiceClient", "encode", "decode"]
+
+#: Stream limit for one protocol line: a 65536-id lookup with 7-digit ids
+#: stays under 1 MiB; 4 MiB leaves comfortable headroom.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One protocol line (compact JSON + newline)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse one protocol line; raises ValueError on garbage."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+class ServiceClient:
+    """A minimal asyncio client for the lookup service.
+
+    Used by the load driver, the CLI's bench mode and the tests.  One
+    in-flight request per client; open several clients for concurrency.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self, wait_seconds: float = 0.0) -> "ServiceClient":
+        """Open the connection, retrying for up to ``wait_seconds`` (the
+        smoke lane boots the server in the background and polls here)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait_seconds
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES)
+                return self
+            except OSError:
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.1)
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and await its response."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write(encode(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return decode(line)
+
+    async def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """``request`` that raises :class:`RuntimeError` on error replies."""
+        response = await self.request({"op": op, **fields})
+        if not response.get("ok"):
+            raise RuntimeError(f"service error for op {op!r}: "
+                               f"{response.get('error', 'unknown')}")
+        return response
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

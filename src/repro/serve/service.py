@@ -1,0 +1,445 @@
+"""The long-lived partition-serving process.
+
+:class:`PartitionService` is the in-memory core: it answers vertex→part
+lookups and k-way routing queries off the *current assignment* — a
+read-only array swapped atomically — while a single background worker
+ingests churn batches through the PR-5
+:class:`~repro.dynamic.IncrementalRepartitioner` and publishes each
+repaired assignment as a new version.  The split matters:
+
+* **Lookups never block on repairs.**  The event loop reads one
+  ``(version, assignment)`` reference pair per request; the repair
+  worker runs the (GIL-releasing, numpy-heavy) repartitioner inside a
+  dedicated single-thread executor and replaces the pair only when the
+  batch is fully absorbed.  A lookup therefore always sees a complete
+  assignment — the previous one or the repaired one, never a half-moved
+  state — and the response's ``version`` field tells the client which.
+* **Churn is asynchronous with backpressure.**  ``update``/``churn``
+  requests enqueue and return immediately; the queue is bounded
+  (:attr:`ServeConfig.max_queue`) so an overloaded worker surfaces as
+  rejected ingests rather than unbounded memory.  The gap between
+  batches ingested and batches applied is the **repair lag** — the
+  "repair-behind-traffic" number the load driver reports.
+* **Server-generated churn is always consistent.**  A ``churn`` request
+  carries only a fraction and a seed; the worker samples the batch from
+  its *own* live edge set right before applying it (deletions of
+  existing edges, insertions of fresh ones, degree-weight deltas in
+  sync), so replay clients cannot race the graph state.
+
+:class:`PartitionServer` is the TCP front end
+(:mod:`repro.serve.protocol`); ``repro serve run`` wires it to a
+:class:`~repro.store.PartitionStore` plus POSIX signals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import GDConfig
+from ..dynamic import (
+    DynamicGraph,
+    IncrementalRepartitioner,
+    UpdateBatch,
+    degree_weight_deltas,
+)
+from ..graphs.generators import churn_trace
+from ..graphs.graph import Graph
+from .config import ServeConfig
+from .protocol import MAX_LINE_BYTES, decode, encode
+
+__all__ = ["PartitionService", "PartitionServer"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Queue sentinel that tells the repair worker to exit after draining.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class _ChurnRequest:
+    """A server-generated churn batch: sampled by the repair worker from
+    the live edge set immediately before being applied."""
+
+    fraction: float
+    seed: int
+
+
+class PartitionService:
+    """Serves vertex→part lookups over a repairing assignment.
+
+    Parameters
+    ----------
+    graph, weights, assignment, num_parts:
+        The serving state: topology, ``(d, n)`` balance weights, current
+        assignment and part count (e.g. loaded from a
+        :class:`~repro.store.PartitionStore` via :meth:`from_store`).
+    config:
+        :class:`GDConfig` for the repair policy (hops, damage threshold,
+        repair iterations) and the recompute fallback.
+    serve_config:
+        :class:`ServeConfig` for the service-level knobs.
+    """
+
+    def __init__(self, graph: Graph, weights: np.ndarray,
+                 assignment: np.ndarray, num_parts: int,
+                 config: GDConfig | None = None,
+                 serve_config: ServeConfig | None = None):
+        self.serve_config = serve_config if serve_config is not None else ServeConfig()
+        self._dynamic = DynamicGraph(graph, weights)
+        self._repartitioner = IncrementalRepartitioner(
+            self._dynamic, assignment, num_parts,
+            epsilon=self.serve_config.epsilon, config=config)
+        dimension = self.serve_config.degree_weight_dimension
+        if dimension is not None and dimension >= self._dynamic.num_dimensions:
+            raise ValueError(
+                f"degree_weight_dimension {dimension} out of range for a "
+                f"{self._dynamic.num_dimensions}-dimensional weight stack")
+        # The atomically-swapped serving state: readers grab the tuple
+        # once, so a concurrent swap can never hand them a version that
+        # disagrees with the array.
+        self._current: tuple[int, np.ndarray] = (0, self._repartitioner.assignment)
+        self._started = time.monotonic()
+        self._stopping = False
+        self._queue: asyncio.Queue | None = None
+        self._worker: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._churn_seed = 0
+        self._lookups = 0
+        self._lookup_batches = 0
+        self._batches_ingested = 0
+        self._batches_applied = 0
+        self._batches_failed = 0
+        self._mode_counts: dict[str, int] = {}
+
+    @classmethod
+    def from_store(cls, store_path, graph_name: str, assignment_name: str,
+                   weight_names=("unit", "degree"),
+                   config: GDConfig | None = None,
+                   serve_config: ServeConfig | None = None) -> "PartitionService":
+        """Boot the serving state from a :class:`PartitionStore`.
+
+        Balance weights are rebuilt from ``weight_names`` (the store
+        persists topology + assignment; weight functions are
+        derivable).  With the default unit+degree stack the degree
+        dimension stays in sync through churn.
+        """
+        from ..graphs.weights import weight_matrix
+        from ..store import PartitionStore
+
+        with PartitionStore(store_path, create=False) as store:
+            graph = store.get_graph(graph_name)
+            record = store.get_assignment(graph_name, assignment_name)
+        weights = weight_matrix(graph, list(weight_names))
+        serve_config = serve_config if serve_config is not None else ServeConfig()
+        if serve_config.degree_weight_dimension is not None and (
+                len(weight_names) <= serve_config.degree_weight_dimension
+                or weight_names[serve_config.degree_weight_dimension] != "degree"):
+            serve_config = serve_config.with_updates(degree_weight_dimension=None)
+        return cls(graph, weights, record.assignment, record.num_parts,
+                   config=config, serve_config=serve_config)
+
+    # ------------------------------------------------------------------ #
+    # Read path (event-loop thread, never blocks on repairs)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self._dynamic.num_vertices
+
+    @property
+    def num_parts(self) -> int:
+        return self._repartitioner.num_parts
+
+    @property
+    def version(self) -> int:
+        """Generation counter of the served assignment (0 at boot,
+        incremented once per absorbed churn batch)."""
+        return self._current[0]
+
+    def lookup(self, vertex_ids) -> tuple[np.ndarray, int]:
+        """Parts of ``vertex_ids`` plus the assignment version they came
+        from.  The whole batch is answered from one assignment snapshot."""
+        ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        if ids.size > self.serve_config.lookup_chunk:
+            raise ValueError(f"lookup of {ids.size} ids exceeds the per-request "
+                             f"limit of {self.serve_config.lookup_chunk}")
+        version, assignment = self._current
+        if ids.size and (int(ids.min()) < 0
+                         or int(ids.max()) >= assignment.shape[0]):
+            raise ValueError("vertex id out of range")
+        self._lookups += int(ids.size)
+        self._lookup_batches += 1
+        return assignment[ids], version
+
+    def route(self, u: int, v: int) -> dict:
+        """Routing query for one edge/request pair: both parts and
+        whether the pair is served from the same shard."""
+        parts, version = self.lookup([u, v])
+        return {"parts": [int(parts[0]), int(parts[1])],
+                "local": bool(parts[0] == parts[1]),
+                "version": version}
+
+    def fanout(self, vertex_ids) -> dict:
+        """K-way routing query: which shards a multi-vertex request must
+        touch (the cross-shard fanout a request router plans with)."""
+        parts, version = self.lookup(vertex_ids)
+        unique, counts = np.unique(parts, return_counts=True)
+        return {"fanout": int(unique.size),
+                "parts": {int(part): int(count)
+                          for part, count in zip(unique, counts)},
+                "version": version}
+
+    # ------------------------------------------------------------------ #
+    # Write path (bounded queue -> single repair worker)
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the background repair worker (idempotent)."""
+        if self._worker is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="repro-repair")
+        self._worker = asyncio.get_running_loop().create_task(self._repair_loop())
+
+    async def ingest(self, batch: UpdateBatch) -> int:
+        """Enqueue a client-supplied churn batch; returns the queue depth."""
+        return self._enqueue(batch)
+
+    async def ingest_churn(self, fraction: float, seed: int | None = None) -> int:
+        """Enqueue a server-generated churn batch (see module docs)."""
+        if not 0 < fraction <= 0.5:
+            raise ValueError("churn fraction must be in (0, 0.5]")
+        if seed is None:
+            seed = self._churn_seed
+        self._churn_seed = int(seed) + 1
+        return self._enqueue(_ChurnRequest(fraction=float(fraction),
+                                           seed=int(seed)))
+
+    def _enqueue(self, item) -> int:
+        if self._queue is None:
+            raise RuntimeError("service is not started")
+        if self._stopping:
+            raise RuntimeError("service is shutting down")
+        if self._queue.qsize() >= self.serve_config.max_queue:
+            raise RuntimeError(f"churn queue full "
+                               f"({self.serve_config.max_queue} pending batches)")
+        self._queue.put_nowait(item)
+        self._batches_ingested += 1
+        return self._queue.qsize()
+
+    async def _repair_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                report = await loop.run_in_executor(self._executor,
+                                                    self._absorb, item)
+                # Publish: new array object, swapped in one assignment.
+                self._current = (self._current[0] + 1,
+                                 self._repartitioner.assignment)
+                self._batches_applied += 1
+                self._mode_counts[report.mode] = (
+                    self._mode_counts.get(report.mode, 0) + 1)
+                logger.info(
+                    "batch %d absorbed: mode=%s damage=%.4f locality=%.2f%% "
+                    "lag=%d", self._batches_applied, report.mode,
+                    report.damage.total, report.edge_locality_pct,
+                    self.repair_lag)
+            except Exception:
+                self._batches_failed += 1
+                logger.exception("churn batch failed; partition unchanged")
+            finally:
+                self._queue.task_done()
+
+    def _absorb(self, item):
+        """Runs on the repair executor thread — the only thread that
+        touches the dynamic graph / repartitioner state."""
+        if isinstance(item, _ChurnRequest):
+            pairs = churn_trace(self._dynamic.snapshot(), 1, item.fraction,
+                                seed=item.seed)
+            insertions, deletions = (pairs[0] if pairs else
+                                     (np.empty((0, 2), dtype=np.int64),) * 2)
+            item = self._make_batch(insertions, deletions)
+        elif (self.serve_config.degree_weight_dimension is not None
+              and item.weight_vertices.size == 0):
+            item = self._make_batch(item.insertions, item.deletions)
+        return self._repartitioner.apply(item)
+
+    def _make_batch(self, insertions: np.ndarray,
+                    deletions: np.ndarray) -> UpdateBatch:
+        if self.serve_config.degree_weight_dimension is None:
+            return UpdateBatch(insertions=insertions, deletions=deletions)
+        vertices, deltas = degree_weight_deltas(self._dynamic, insertions,
+                                                deletions)
+        return UpdateBatch(insertions=insertions, deletions=deletions,
+                           weight_vertices=vertices, weight_deltas=deltas)
+
+    @property
+    def repair_lag(self) -> int:
+        """Churn batches ingested but not yet absorbed (or failed)."""
+        return self._batches_ingested - self._batches_applied - self._batches_failed
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain pending churn, then stop the worker."""
+        if self._worker is None:
+            return
+        self._stopping = True
+        self._queue.put_nowait(_STOP)
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(self._worker),
+                timeout=self.serve_config.shutdown_drain_seconds or None)
+        except asyncio.TimeoutError:
+            dropped = self._queue.qsize()
+            logger.warning("shutdown drain timed out; abandoning %d pending "
+                           "batches", dropped)
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+        self._executor.shutdown(wait=True)
+        self._worker = None
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters + current partition quality (the ``stats`` op)."""
+        metrics = self._repartitioner.metrics
+        return {
+            "num_vertices": self.num_vertices,
+            "num_parts": self.num_parts,
+            "version": self.version,
+            "lookups": self._lookups,
+            "lookup_batches": self._lookup_batches,
+            "batches_ingested": self._batches_ingested,
+            "batches_applied": self._batches_applied,
+            "batches_failed": self._batches_failed,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "repair_lag": self.repair_lag,
+            "modes": dict(self._mode_counts),
+            "edge_locality_pct": float(metrics.edge_locality_pct),
+            "max_imbalance_pct": 100.0 * float(metrics.max_imbalance()),
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+
+class PartitionServer:
+    """TCP front end: newline-delimited JSON requests over asyncio streams."""
+
+    def __init__(self, service: PartitionService,
+                 serve_config: ServeConfig | None = None):
+        self.service = service
+        self.serve_config = (serve_config if serve_config is not None
+                             else service.serve_config)
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`; resolves
+        ``port=0`` to the ephemeral port the OS picked)."""
+        if self._server is None or not self._server.sockets:
+            return self.serve_config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.serve_config.host,
+            self.serve_config.port, limit=MAX_LINE_BYTES)
+        logger.info("serving vertex->part lookups on %s:%d (n=%d, k=%d)",
+                    self.serve_config.host, self.port,
+                    self.service.num_vertices, self.service.num_parts)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run_until_stopped` to shut down (signal-handler and
+        ``shutdown``-op entry point; safe to call repeatedly)."""
+        self._stop_event.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+        stats = self.service.stats()
+        logger.info("shutdown complete: served %d lookups in %d batches, "
+                    "absorbed %d/%d churn batches (%d failed)",
+                    stats["lookups"], stats["lookup_batches"],
+                    stats["batches_applied"], stats["batches_ingested"],
+                    stats["batches_failed"])
+
+    async def run_until_stopped(self) -> None:
+        """Start, serve until :meth:`request_stop`, then shut down cleanly."""
+        await self.start()
+        await self._stop_event.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode(line)
+                except ValueError:
+                    writer.write(encode({"ok": False,
+                                         "error": "malformed request line"}))
+                    await writer.drain()
+                    break
+                response = await self._dispatch(message)
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        try:
+            if op == "lookup":
+                parts, version = self.service.lookup(message.get("ids", []))
+                return {"ok": True, "parts": parts.tolist(), "version": version}
+            if op == "route":
+                return {"ok": True, **self.service.route(int(message["u"]),
+                                                         int(message["v"]))}
+            if op == "fanout":
+                return {"ok": True, **self.service.fanout(message.get("ids", []))}
+            if op == "update":
+                batch = UpdateBatch(
+                    insertions=np.asarray(message.get("insert", []),
+                                          dtype=np.int64).reshape(-1, 2),
+                    deletions=np.asarray(message.get("delete", []),
+                                         dtype=np.int64).reshape(-1, 2))
+                depth = await self.service.ingest(batch)
+                return {"ok": True, "queued": depth}
+            if op == "churn":
+                depth = await self.service.ingest_churn(
+                    float(message.get("fraction", 0.01)),
+                    message.get("seed"))
+                return {"ok": True, "queued": depth}
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            if op == "ping":
+                return {"ok": True}
+            if op == "shutdown":
+                self.request_stop()
+                return {"ok": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (KeyError, TypeError, ValueError, RuntimeError) as error:
+            return {"ok": False, "error": str(error)}

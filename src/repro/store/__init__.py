@@ -1,0 +1,21 @@
+"""Persistent partition store: sqlite catalog + columnar edge sidecars.
+
+Every run of the one-shot partitioners and the dynamic engine used to die
+in text files; :class:`PartitionStore` is where results live between
+processes instead — graphs (edge arrays in an ``.npy``/parquet sidecar,
+bit-identical through the round trip), assignments, per-run metric
+series, and the incremental repartitioner's repair traces.  The
+``repro store`` CLI subcommand fronts it, and ``repro serve``
+(:mod:`repro.serve`) boots straight from it.
+"""
+
+from .schema import SCHEMA_VERSION
+from .store import AssignmentRecord, GraphRecord, PartitionStore, StoreError
+
+__all__ = [
+    "AssignmentRecord",
+    "GraphRecord",
+    "PartitionStore",
+    "StoreError",
+    "SCHEMA_VERSION",
+]

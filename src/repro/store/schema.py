@@ -1,0 +1,115 @@
+"""Schema of the sqlite-backed :class:`~repro.store.PartitionStore`.
+
+Design notes
+------------
+The schema follows the access patterns of the serving stack, not the
+relational ideal:
+
+* **Graphs** are metadata rows; the edge arrays live in a *sidecar* file
+  next to the database (``<store>.arrays/graph-<id>.npy`` by default, or
+  a two-column parquet file when pyarrow is available).  Large graphs are
+  exactly the case where a columnar array file beats BLOB paging — the
+  service loads the whole edge array once at boot, and numpy's mmap-able
+  ``.npy`` (or parquet's columnar pages) round-trips the canonical
+  ``(m, 2)`` int64 array bit for bit.
+* **Assignments** are small (one int per vertex) and hot — they are
+  stored inline as ``.npy`` BLOBs so a ``get`` is one B-tree probe, no
+  second file open.
+* **Metrics** and **repair traces** are append-mostly time series keyed
+  by a free-form ``run`` label plus an optional batch index; both are
+  written per churn batch by the replay/serving paths and read back in
+  bulk, so they carry covering indexes on ``(run, batch)``.
+
+Versioning uses sqlite's ``PRAGMA user_version``: a fresh database is
+stamped with :data:`SCHEMA_VERSION`; opening a database with a *newer*
+version fails loudly (downgrade), while an *older* one is migrated
+through :data:`MIGRATIONS` step by step.  Migration 0→1 is creation
+itself, so the scaffold is exercised on every ``init``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "MIGRATIONS", "apply_migrations"]
+
+#: Version the code understands; bump together with a MIGRATIONS entry.
+SCHEMA_VERSION = 1
+
+_V1_DDL = """
+CREATE TABLE graphs (
+    graph_id     INTEGER PRIMARY KEY,
+    name         TEXT NOT NULL UNIQUE,
+    num_vertices INTEGER NOT NULL,
+    num_edges    INTEGER NOT NULL,
+    edge_file    TEXT NOT NULL,
+    edge_format  TEXT NOT NULL CHECK (edge_format IN ('npy', 'parquet')),
+    created_at   TEXT NOT NULL
+);
+
+CREATE TABLE assignments (
+    assignment_id INTEGER PRIMARY KEY,
+    graph_id      INTEGER NOT NULL REFERENCES graphs(graph_id) ON DELETE CASCADE,
+    name          TEXT NOT NULL,
+    num_parts     INTEGER NOT NULL,
+    data          BLOB NOT NULL,
+    created_at    TEXT NOT NULL,
+    UNIQUE (graph_id, name)
+);
+
+CREATE TABLE metrics (
+    metric_id  INTEGER PRIMARY KEY,
+    run        TEXT NOT NULL,
+    batch      INTEGER,
+    key        TEXT NOT NULL,
+    value      REAL NOT NULL,
+    created_at TEXT NOT NULL
+);
+CREATE INDEX metrics_by_run ON metrics (run, batch, key);
+
+CREATE TABLE repair_traces (
+    trace_id            INTEGER PRIMARY KEY,
+    run                 TEXT NOT NULL,
+    batch               INTEGER NOT NULL,
+    mode                TEXT NOT NULL,
+    damage              REAL NOT NULL,
+    gd_iterations       INTEGER NOT NULL,
+    full_iterations     INTEGER NOT NULL,
+    freed_vertices      INTEGER NOT NULL,
+    repair_tasks        INTEGER NOT NULL,
+    moved_vertices      INTEGER NOT NULL,
+    edge_locality_pct   REAL NOT NULL,
+    max_imbalance_pct   REAL NOT NULL,
+    balanced            INTEGER NOT NULL,
+    elapsed_seconds     REAL NOT NULL,
+    created_at          TEXT NOT NULL,
+    UNIQUE (run, batch)
+);
+CREATE INDEX repair_traces_by_run ON repair_traces (run, batch);
+"""
+
+#: ``MIGRATIONS[v]`` upgrades a database at version ``v`` to ``v + 1``.
+MIGRATIONS: dict[int, str] = {
+    0: _V1_DDL,
+}
+
+
+def apply_migrations(connection: sqlite3.Connection) -> int:
+    """Bring ``connection`` up to :data:`SCHEMA_VERSION`; returns the
+    number of migration steps applied.  Raises :class:`RuntimeError` when
+    the database is newer than this code understands."""
+    version = connection.execute("PRAGMA user_version").fetchone()[0]
+    if version > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"store schema version {version} is newer than this code "
+            f"supports ({SCHEMA_VERSION}); upgrade the repro package")
+    steps = 0
+    while version < SCHEMA_VERSION:
+        if version not in MIGRATIONS:
+            raise RuntimeError(f"no migration from store schema version {version}")
+        with connection:
+            connection.executescript(MIGRATIONS[version])
+            version += 1
+            connection.execute(f"PRAGMA user_version = {version}")
+        steps += 1
+    return steps

@@ -1,0 +1,357 @@
+"""The sqlite-backed partition store (see :mod:`repro.store.schema`).
+
+:class:`PartitionStore` persists everything a serving deployment needs to
+survive a restart without recomputing: graphs (edge arrays in an
+npy/parquet sidecar), assignments, per-run metric series, and the
+incremental repartitioner's per-batch repair reports.  The round-trip
+contract is **bit-identity**: ``get_graph`` rebuilds through
+:meth:`Graph.from_edges`, so the returned graph's ``edges`` / ``indptr``
+/ ``indices`` match the stored one array for array, and assignments come
+back with their exact dtype and values (they travel as ``.npy`` blobs).
+
+The database opens in WAL mode, so a long-lived ``repro serve`` process
+can read while a replay experiment appends metrics.
+"""
+
+from __future__ import annotations
+
+import io
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .schema import apply_migrations
+
+__all__ = ["PartitionStore", "StoreError", "AssignmentRecord", "GraphRecord"]
+
+
+class StoreError(RuntimeError):
+    """A store-level failure: missing record, version conflict, bad input."""
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class GraphRecord:
+    """Catalog row of a stored graph (arrays live in the sidecar file)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    edge_format: str
+    created_at: str
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """A stored assignment: the array plus the k it was built for."""
+
+    graph: str
+    name: str
+    num_parts: int
+    assignment: np.ndarray
+    created_at: str
+
+
+def _array_to_blob(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _blob_to_array(blob: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(blob), allow_pickle=False)
+
+
+class PartitionStore:
+    """Persistent storage for graphs, assignments, metrics and traces.
+
+    Parameters
+    ----------
+    path:
+        The sqlite database file.  Edge arrays live next to it in
+        ``<path>.arrays/``.
+    create:
+        When True (the default) a missing database is initialized; when
+        False opening a missing database raises :class:`StoreError` (the
+        CLI's ``get``/``ls`` paths, where silently creating an empty
+        store would mask a typo).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: str | Path, create: bool = True):
+        self.path = Path(path)
+        if not create and not self.path.exists():
+            raise StoreError(f"store {self.path} does not exist "
+                             "(run `repro store init` first)")
+        self.sidecar_dir = Path(str(self.path) + ".arrays")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        try:
+            apply_migrations(self._conn)
+        except RuntimeError as error:
+            self._conn.close()
+            raise StoreError(str(error)) from error
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, path: str | Path) -> "PartitionStore":
+        """Initialize a fresh store; fails if ``path`` already exists."""
+        if Path(path).exists():
+            raise StoreError(f"store {path} already exists")
+        return cls(path, create=True)
+
+    @property
+    def schema_version(self) -> int:
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "PartitionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Graphs
+    # ------------------------------------------------------------------ #
+    def put_graph(self, name: str, graph: Graph, edge_format: str = "npy") -> int:
+        """Store ``graph`` under ``name``; returns the graph id.
+
+        The canonical ``(m, 2)`` int64 edge array goes to the sidecar in
+        ``edge_format`` (``"npy"``, or ``"parquet"`` when pyarrow is
+        installed); the row commits only after the sidecar write
+        succeeded, so a crashed put leaves no half-stored graph.
+        """
+        if edge_format not in ("npy", "parquet"):
+            raise StoreError(f"unknown edge format {edge_format!r}")
+        self.sidecar_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO graphs (name, num_vertices, num_edges, edge_file,"
+                    " edge_format, created_at) VALUES (?, ?, ?, '', ?, ?)",
+                    (name, graph.num_vertices, graph.num_edges, edge_format,
+                     _utcnow()))
+                graph_id = cursor.lastrowid
+                edge_file = f"graph-{graph_id:06d}.{edge_format}"
+                self._write_edges(self.sidecar_dir / edge_file, graph.edges,
+                                  edge_format)
+                self._conn.execute(
+                    "UPDATE graphs SET edge_file = ? WHERE graph_id = ?",
+                    (edge_file, graph_id))
+        except sqlite3.IntegrityError as error:
+            raise StoreError(f"graph {name!r} already stored") from error
+        return int(graph_id)
+
+    def get_graph(self, name: str) -> Graph:
+        """Load a stored graph, bit-identical to the one that was put."""
+        row = self._graph_row(name)
+        edges = self._read_edges(self.sidecar_dir / row["edge_file"],
+                                 row["edge_format"])
+        # The stored array is already canonical, and from_edges
+        # canonicalization is idempotent — so this reproduces the exact
+        # edges/indptr/indices the original graph carried.
+        return Graph.from_edges(int(row["num_vertices"]), edges)
+
+    def graphs(self) -> list[GraphRecord]:
+        rows = self._conn.execute(
+            "SELECT name, num_vertices, num_edges, edge_format, created_at "
+            "FROM graphs ORDER BY graph_id").fetchall()
+        return [GraphRecord(name=row["name"], num_vertices=row["num_vertices"],
+                            num_edges=row["num_edges"],
+                            edge_format=row["edge_format"],
+                            created_at=row["created_at"]) for row in rows]
+
+    def _graph_row(self, name: str) -> sqlite3.Row:
+        row = self._conn.execute("SELECT * FROM graphs WHERE name = ?",
+                                 (name,)).fetchone()
+        if row is None:
+            known = ", ".join(record.name for record in self.graphs()) or "none"
+            raise StoreError(f"no graph named {name!r} in {self.path} "
+                             f"(stored: {known})")
+        return row
+
+    @staticmethod
+    def _write_edges(path: Path, edges: np.ndarray, edge_format: str) -> None:
+        if edge_format == "npy":
+            np.save(path, np.ascontiguousarray(edges, dtype=np.int64),
+                    allow_pickle=False)
+            return
+        pa, pq = _require_pyarrow()
+        table = pa.table({"u": pa.array(edges[:, 0], type=pa.int64()),
+                          "v": pa.array(edges[:, 1], type=pa.int64())})
+        pq.write_table(table, path)
+
+    @staticmethod
+    def _read_edges(path: Path, edge_format: str) -> np.ndarray:
+        if not path.exists():
+            raise StoreError(f"edge sidecar {path} is missing")
+        if edge_format == "npy":
+            edges = np.load(path, allow_pickle=False)
+        else:
+            _, pq = _require_pyarrow()
+            table = pq.read_table(path)
+            edges = np.column_stack([table.column("u").to_numpy(),
+                                     table.column("v").to_numpy()])
+        return np.ascontiguousarray(edges, dtype=np.int64).reshape(-1, 2)
+
+    # ------------------------------------------------------------------ #
+    # Assignments
+    # ------------------------------------------------------------------ #
+    def put_assignment(self, graph: str, name: str, assignment: np.ndarray,
+                       num_parts: int | None = None,
+                       replace: bool = False) -> int:
+        """Store an assignment for graph ``graph`` under ``name``.
+
+        Validates the assignment against the stored graph: length must
+        equal the vertex count and part ids must lie in ``0..k-1``
+        (``num_parts`` defaults to ``max + 1``).  ``replace=True``
+        overwrites an existing ``(graph, name)`` record — the path the
+        serving stack uses to checkpoint repaired assignments.
+        """
+        row = self._graph_row(graph)
+        assignment = np.asarray(assignment)
+        if assignment.ndim != 1 or assignment.shape[0] != row["num_vertices"]:
+            raise StoreError(
+                f"assignment has {assignment.shape[0] if assignment.ndim == 1 else assignment.shape} "
+                f"entries but graph {graph!r} has {row['num_vertices']} vertices")
+        if num_parts is None:
+            num_parts = int(assignment.max(initial=0)) + 1
+        if assignment.size and (int(assignment.min()) < 0
+                                or int(assignment.max()) >= num_parts):
+            raise StoreError(f"assignment part ids must lie in 0..{num_parts - 1}")
+        verb = "INSERT OR REPLACE" if replace else "INSERT"
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    f"{verb} INTO assignments (graph_id, name, num_parts, data,"
+                    " created_at) VALUES (?, ?, ?, ?, ?)",
+                    (row["graph_id"], name, int(num_parts),
+                     _array_to_blob(assignment), _utcnow()))
+        except sqlite3.IntegrityError as error:
+            raise StoreError(f"assignment {name!r} already stored for graph "
+                             f"{graph!r} (pass replace=True to overwrite)") from error
+        return int(cursor.lastrowid)
+
+    def get_assignment(self, graph: str, name: str) -> AssignmentRecord:
+        graph_row = self._graph_row(graph)
+        row = self._conn.execute(
+            "SELECT * FROM assignments WHERE graph_id = ? AND name = ?",
+            (graph_row["graph_id"], name)).fetchone()
+        if row is None:
+            known = ", ".join(r.name for r in self.assignments(graph)) or "none"
+            raise StoreError(f"no assignment named {name!r} for graph {graph!r} "
+                             f"(stored: {known})")
+        return AssignmentRecord(graph=graph, name=name,
+                                num_parts=int(row["num_parts"]),
+                                assignment=_blob_to_array(row["data"]),
+                                created_at=row["created_at"])
+
+    def assignments(self, graph: str | None = None) -> list[AssignmentRecord]:
+        query = ("SELECT g.name AS graph_name, a.* FROM assignments a "
+                 "JOIN graphs g USING (graph_id)")
+        params: tuple = ()
+        if graph is not None:
+            query += " WHERE g.name = ?"
+            params = (graph,)
+        rows = self._conn.execute(query + " ORDER BY a.assignment_id",
+                                  params).fetchall()
+        return [AssignmentRecord(graph=row["graph_name"], name=row["name"],
+                                 num_parts=int(row["num_parts"]),
+                                 assignment=_blob_to_array(row["data"]),
+                                 created_at=row["created_at"]) for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def put_metrics(self, run: str, values: Mapping[str, float],
+                    batch: int | None = None) -> None:
+        """Append numeric ``values`` to the metric series of ``run``."""
+        now = _utcnow()
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO metrics (run, batch, key, value, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [(run, batch, key, float(value), now)
+                 for key, value in values.items()])
+
+    def metrics(self, run: str) -> list[dict]:
+        """The metric series of ``run`` as ``{batch, key, value}`` rows."""
+        rows = self._conn.execute(
+            "SELECT batch, key, value FROM metrics WHERE run = ? "
+            "ORDER BY metric_id", (run,)).fetchall()
+        return [{"batch": row["batch"], "key": row["key"], "value": row["value"]}
+                for row in rows]
+
+    def runs(self) -> list[str]:
+        """Distinct run labels across metrics and repair traces."""
+        rows = self._conn.execute(
+            "SELECT run FROM metrics UNION SELECT run FROM repair_traces "
+            "ORDER BY run").fetchall()
+        return [row["run"] for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Repair traces
+    # ------------------------------------------------------------------ #
+    def put_repair_report(self, run: str, batch: int, report) -> None:
+        """Persist one :class:`~repro.dynamic.RepairReport` for ``run``."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO repair_traces (run, batch, mode, damage,"
+                " gd_iterations, full_iterations, freed_vertices, repair_tasks,"
+                " moved_vertices, edge_locality_pct, max_imbalance_pct,"
+                " balanced, elapsed_seconds, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (run, int(batch), report.mode, float(report.damage.total),
+                 int(report.gd_iterations), int(report.full_recompute_iterations),
+                 int(report.freed_vertices), int(report.repair_tasks),
+                 int(report.moved_vertices), float(report.edge_locality_pct),
+                 float(report.max_imbalance_pct), int(report.balanced),
+                 float(report.elapsed_seconds), _utcnow()))
+
+    def repair_trace(self, run: str) -> list[dict]:
+        """The stored repair trajectory of ``run``, ordered by batch."""
+        rows = self._conn.execute(
+            "SELECT * FROM repair_traces WHERE run = ? ORDER BY batch",
+            (run,)).fetchall()
+        return [{key: row[key] for key in row.keys()
+                 if key not in ("trace_id", "run")} for row in rows]
+
+    # ------------------------------------------------------------------ #
+    def counts(self) -> dict[str, int]:
+        """Row counts per table (the ``repro store ls`` summary)."""
+        result = {}
+        for table in ("graphs", "assignments", "metrics", "repair_traces"):
+            result[table] = int(self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0])
+        result["schema_version"] = self.schema_version
+        return result
+
+
+def _require_pyarrow():
+    try:
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+    except ImportError as error:
+        raise StoreError(
+            "edge_format='parquet' requires pyarrow, which is not installed; "
+            "use the default edge_format='npy'") from error
+    return pa, pq

@@ -224,3 +224,150 @@ class TestGenerateCommand:
     def test_generate_unknown_preset(self, tmp_path):
         with pytest.raises(KeyError):
             main(["generate", "nope", "--output", str(tmp_path / "x.txt")])
+
+
+class TestRepartitionBadInput:
+    """Bad operator input answers with one line on stderr and exit 2 —
+    never a raw traceback (the regression this class pins down)."""
+
+    @pytest.fixture
+    def parts_file(self, graph_file, tmp_path):
+        graph = read_edge_list(graph_file)
+        parts = tmp_path / "parts.txt"
+        parts.write_text(
+            "\n".join(str(i % 2) for i in range(graph.num_vertices)) + "\n")
+        return parts
+
+    def test_unknown_trace_op(self, graph_file, parts_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("x 1 2\n")
+        assert main(["repartition", str(graph_file), str(parts_file),
+                     str(updates)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "malformed update line" in err
+
+    def test_out_of_range_update(self, graph_file, parts_file, tmp_path,
+                                 capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 999999\n")
+        assert main(["repartition", str(graph_file), str(parts_file),
+                     str(updates)]) == 2
+        assert "error: batch 0:" in capsys.readouterr().err
+
+    def test_conflicting_update(self, graph_file, parts_file, tmp_path,
+                                capsys):
+        graph = read_edge_list(graph_file)
+        u, v = (int(x) for x in graph.edges[0])
+        updates = tmp_path / "updates.txt"
+        updates.write_text(f"- {u} {v}\n%%\n- {u} {v}\n")  # second delete conflicts
+        assert main(["repartition", str(graph_file), str(parts_file),
+                     str(updates)]) == 2
+        assert "batch 1" in capsys.readouterr().err
+
+    def test_junk_assignment_file(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "junk.txt"
+        bad.write_text("not-a-number\n")
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 1\n")
+        assert main(["repartition", str(graph_file), str(bad),
+                     str(updates)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_updates_file(self, graph_file, parts_file, tmp_path,
+                                  capsys):
+        assert main(["repartition", str(graph_file), str(parts_file),
+                     str(tmp_path / "nope.txt")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_evaluate_junk_assignment(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "junk.txt"
+        bad.write_text("zero\n")
+        assert main(["evaluate", str(graph_file), str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestStoreCommand:
+    def test_init_put_ls_get_roundtrip(self, graph_file, tmp_path, capsys):
+        store = tmp_path / "store.sqlite"
+        parts = tmp_path / "parts.txt"
+        assert main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "10", "--output", str(parts)]) == 0
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "put", str(store), "g", str(graph_file),
+                     "--assignment", str(parts)]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "ls", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "1 graphs, 1 assignments" in listing
+        assert "assignment 'initial': k=4" in listing
+
+        exported = tmp_path / "exported.txt"
+        exported_parts = tmp_path / "exported_parts.txt"
+        assert main(["store", "get", str(store), "g",
+                     "--output", str(exported)]) == 0
+        assert main(["store", "get", str(store), "g",
+                     "--assignment-name", "initial",
+                     "--assignment-output", str(exported_parts)]) == 0
+        original = read_edge_list(graph_file)
+        roundtrip = read_edge_list(exported)
+        assert roundtrip.num_vertices == original.num_vertices
+        np.testing.assert_array_equal(roundtrip.edges, original.edges)
+        np.testing.assert_array_equal(read_partition(exported_parts),
+                                      read_partition(parts))
+
+    def test_put_assignment_onto_existing_graph(self, graph_file, tmp_path,
+                                                capsys):
+        store = tmp_path / "store.sqlite"
+        graph = read_edge_list(graph_file)
+        parts = tmp_path / "parts.txt"
+        parts.write_text(
+            "\n".join(str(i % 3) for i in range(graph.num_vertices)) + "\n")
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "put", str(store), "g", str(graph_file)]) == 0
+        # Second put: no edge list, just attach another assignment.
+        assert main(["store", "put", str(store), "g",
+                     "--assignment", str(parts),
+                     "--assignment-name", "by-hand", "--parts", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", str(store)]) == 0
+        assert "by-hand" in capsys.readouterr().out
+
+    def test_store_errors_are_one_liners(self, graph_file, tmp_path, capsys):
+        store = tmp_path / "store.sqlite"
+        assert main(["store", "ls", str(store)]) == 2  # missing store
+        assert "error:" in capsys.readouterr().err
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "init", str(store)]) == 2  # double init
+        assert main(["store", "put", str(store), "g"]) == 2  # nothing to store
+        assert main(["store", "put", str(store), "g", str(graph_file)]) == 0
+        assert main(["store", "put", str(store), "g", str(graph_file)]) == 2
+        assert main(["store", "get", str(store), "missing"]) == 2
+        err = capsys.readouterr().err
+        assert "already stored" in err and "no graph" in err
+
+
+class TestServeCommand:
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "bench"])
+        assert args.lookups == 50_000
+        assert args.batch_size == 256
+        assert args.skew == 1.0
+        assert args.min_lookups_per_sec is None
+
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "run", "db", "g", "a"])
+        assert args.port == 7171
+        assert args.weights == ["unit", "degree"]
+        assert args.max_queue == 64
+
+    def test_bench_without_server_fails_cleanly(self, capsys):
+        # Port 1 is privileged and unbound: the connect fails immediately.
+        assert main(["serve", "bench", "--port", "1",
+                     "--lookups", "10"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serve_run_rejects_missing_store(self, tmp_path, capsys):
+        assert main(["serve", "run", str(tmp_path / "nope.sqlite"),
+                     "g", "initial"]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,239 @@
+"""Tests for the sqlite-backed partition store."""
+
+from __future__ import annotations
+
+import sqlite3
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, power_law_cluster_graph, ring_of_cliques
+from repro.store import PartitionStore, StoreError
+from repro.store.schema import SCHEMA_VERSION
+
+
+def _assert_graphs_identical(left: Graph, right: Graph) -> None:
+    """Bit-identity: same arrays, same dtypes — not just isomorphism."""
+    assert left.num_vertices == right.num_vertices
+    for attribute in ("edges", "indptr", "indices"):
+        a, b = getattr(left, attribute), getattr(right, attribute)
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with PartitionStore(tmp_path / "test.sqlite") as store:
+        yield store
+
+
+class TestGraphRoundTrip:
+    def test_preset_graph_is_bit_identical(self, store):
+        graph = power_law_cluster_graph(300, 6, 10.0, seed=3)
+        store.put_graph("social", graph)
+        _assert_graphs_identical(graph, store.get_graph("social"))
+
+    def test_empty_graph(self, store):
+        graph = Graph.from_edges(5, [])
+        store.put_graph("empty", graph)
+        loaded = store.get_graph("empty")
+        _assert_graphs_identical(graph, loaded)
+        assert loaded.num_edges == 0
+
+    def test_single_vertex_graph(self, store):
+        graph = Graph.from_edges(1, [])
+        store.put_graph("dot", graph)
+        assert store.get_graph("dot").num_vertices == 1
+
+    def test_survives_reopen(self, tmp_path):
+        graph = ring_of_cliques(4, 5)
+        path = tmp_path / "persist.sqlite"
+        with PartitionStore(path) as store:
+            store.put_graph("ring", graph)
+        with PartitionStore(path, create=False) as store:
+            _assert_graphs_identical(graph, store.get_graph("ring"))
+
+    def test_duplicate_name_rejected(self, store):
+        graph = Graph.from_edges(3, [(0, 1)])
+        store.put_graph("g", graph)
+        with pytest.raises(StoreError, match="already stored"):
+            store.put_graph("g", graph)
+
+    def test_missing_graph_raises(self, store):
+        with pytest.raises(StoreError, match="no graph"):
+            store.get_graph("nope")
+
+    def test_parquet_requires_pyarrow(self, store):
+        try:
+            import pyarrow  # noqa: F401
+        except ImportError:
+            with pytest.raises(StoreError, match="pyarrow"):
+                store.put_graph("pq", Graph.from_edges(3, [(0, 1)]),
+                                edge_format="parquet")
+        else:
+            graph = ring_of_cliques(3, 4)
+            store.put_graph("pq", graph, edge_format="parquet")
+            _assert_graphs_identical(graph, store.get_graph("pq"))
+
+    def test_unknown_format_rejected(self, store):
+        with pytest.raises(StoreError, match="unknown edge format"):
+            store.put_graph("g", Graph.from_edges(3, [(0, 1)]),
+                            edge_format="csv")
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), num_vertices=st.integers(min_value=1, max_value=25))
+    def test_roundtrip_is_bit_identical(self, tmp_path_factory, data,
+                                        num_vertices):
+        """Any graph the canonicalizer accepts round-trips exactly —
+        including duplicate and self-loop inputs, which canonicalize
+        identically on both sides."""
+        pairs = data.draw(st.lists(
+            st.tuples(st.integers(0, num_vertices - 1),
+                      st.integers(0, num_vertices - 1)),
+            max_size=60))
+        graph = Graph.from_edges(num_vertices, pairs)
+        path = tmp_path_factory.mktemp("hyp") / "roundtrip.sqlite"
+        with PartitionStore(path) as store:
+            store.put_graph("g", graph)
+            _assert_graphs_identical(graph, store.get_graph("g"))
+
+
+class TestAssignments:
+    @pytest.fixture
+    def stored_graph(self, store):
+        store.put_graph("g", ring_of_cliques(4, 5))
+        return store
+
+    def test_roundtrip_preserves_values(self, stored_graph):
+        assignment = np.arange(20) % 4
+        stored_graph.put_assignment("g", "initial", assignment)
+        record = stored_graph.get_assignment("g", "initial")
+        np.testing.assert_array_equal(record.assignment, assignment)
+        assert record.num_parts == 4
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int32, np.int64, np.uint8])
+    def test_roundtrip_preserves_dtype(self, stored_graph, dtype):
+        assignment = (np.arange(20) % 3).astype(dtype)
+        stored_graph.put_assignment("g", f"dt-{np.dtype(dtype).name}",
+                                    assignment)
+        record = stored_graph.get_assignment("g", f"dt-{np.dtype(dtype).name}")
+        assert record.assignment.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(record.assignment, assignment)
+
+    def test_length_mismatch_rejected(self, stored_graph):
+        with pytest.raises(StoreError, match="entries"):
+            stored_graph.put_assignment("g", "short", np.zeros(3, dtype=int))
+
+    def test_out_of_range_parts_rejected(self, stored_graph):
+        with pytest.raises(StoreError, match="part ids"):
+            stored_graph.put_assignment("g", "bad", np.full(20, 5),
+                                        num_parts=4)
+        with pytest.raises(StoreError, match="part ids"):
+            stored_graph.put_assignment("g", "neg", np.full(20, -1))
+
+    def test_duplicate_needs_replace(self, stored_graph):
+        assignment = np.zeros(20, dtype=np.int64)
+        stored_graph.put_assignment("g", "a", assignment, num_parts=2)
+        with pytest.raises(StoreError, match="replace"):
+            stored_graph.put_assignment("g", "a", assignment, num_parts=2)
+        stored_graph.put_assignment("g", "a", assignment + 1, num_parts=2,
+                                    replace=True)
+        assert stored_graph.get_assignment("g", "a").assignment[0] == 1
+
+    def test_listing(self, stored_graph):
+        stored_graph.put_assignment("g", "a", np.zeros(20, dtype=int))
+        stored_graph.put_assignment("g", "b", np.ones(20, dtype=int))
+        assert [r.name for r in stored_graph.assignments("g")] == ["a", "b"]
+
+    def test_missing_assignment_names_known_ones(self, stored_graph):
+        stored_graph.put_assignment("g", "only", np.zeros(20, dtype=int))
+        with pytest.raises(StoreError, match="only"):
+            stored_graph.get_assignment("g", "nope")
+
+
+class TestMetricsAndTraces:
+    def test_metric_series(self, store):
+        store.put_metrics("run-1", {"locality": 71.5, "imbalance": 3.0},
+                          batch=0)
+        store.put_metrics("run-1", {"locality": 70.9}, batch=1)
+        rows = store.metrics("run-1")
+        assert [(r["batch"], r["key"]) for r in rows] == [
+            (0, "locality"), (0, "imbalance"), (1, "locality")]
+        assert store.runs() == ["run-1"]
+
+    def test_repair_trace_roundtrip(self, store):
+        report = SimpleNamespace(
+            mode="repair", damage=SimpleNamespace(total=0.012),
+            gd_iterations=12, full_recompute_iterations=420,
+            freed_vertices=30, repair_tasks=2, moved_vertices=9,
+            edge_locality_pct=70.5, max_imbalance_pct=2.5, balanced=True,
+            elapsed_seconds=0.07)
+        store.put_repair_report("run-1", 0, report)
+        (row,) = store.repair_trace("run-1")
+        assert row["mode"] == "repair"
+        assert row["damage"] == pytest.approx(0.012)
+        assert row["balanced"] == 1
+        assert row["full_iterations"] == 420
+
+    def test_counts(self, store):
+        store.put_graph("g", Graph.from_edges(3, [(0, 1)]))
+        store.put_metrics("r", {"x": 1.0})
+        counts = store.counts()
+        assert counts["graphs"] == 1
+        assert counts["metrics"] == 1
+        assert counts["schema_version"] == SCHEMA_VERSION
+
+
+class TestSchemaVersioning:
+    def test_fresh_store_is_current(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+
+    def test_create_refuses_existing_path(self, tmp_path):
+        path = tmp_path / "exists.sqlite"
+        PartitionStore(path).close()
+        with pytest.raises(StoreError, match="already exists"):
+            PartitionStore.create(path)
+
+    def test_open_missing_without_create_fails(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            PartitionStore(tmp_path / "missing.sqlite", create=False)
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        PartitionStore(path).close()
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 7}")
+        connection.close()
+        with pytest.raises(StoreError, match="newer"):
+            PartitionStore(path)
+
+
+class TestChurnReplayPersistence:
+    def test_trajectory_lands_in_the_store(self, tmp_path):
+        """The churn-replay experiment persists graph, assignments, one
+        repair report and one metric row set per batch."""
+        from repro.experiments import churn_replay
+
+        path = tmp_path / "replay.sqlite"
+        rows = churn_replay.run(preset="fb-3", scale=0.2, num_parts=4,
+                                num_batches=2, churn_fraction=0.02,
+                                gd_iterations=10, compare_recompute=False,
+                                measure_supersteps=False,
+                                store_path=path, store_run="replay-test")
+        assert len(rows) == 2
+        with PartitionStore(path, create=False) as store:
+            trace = store.repair_trace("replay-test")
+            assert [row["batch"] for row in trace] == [0, 1]
+            assert {row["mode"] for row in trace} <= {
+                "noop", "repair", "recompute", "escalated"}
+            names = {r.name for r in store.assignments("replay-test/graph")}
+            assert names == {"initial", "final"}
+            final = store.get_assignment("replay-test/graph", "final")
+            graph = store.get_graph("replay-test/graph")
+            assert final.assignment.shape == (graph.num_vertices,)
+            metric_batches = {row["batch"] for row in
+                              store.metrics("replay-test")}
+            assert metric_batches == {0, 1}
