@@ -31,7 +31,7 @@ def test_ablation_projection_methods(benchmark):
     def run():
         rows = []
         for method in ("alternating_oneshot", "alternating", "dykstra", "exact"):
-            config = GDConfig(iterations=40, projection=method, seed=SEED)
+            config = GDConfig(iterations=40, projection_method=method, seed=SEED)
             start = time.perf_counter()
             result = gd_bisect(graph, weights, 0.05, config)
             rows.append([method, edge_locality(result.partition),

@@ -23,11 +23,11 @@ def main() -> None:
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
 
     configurations = {
-        "one-shot alternating": GDConfig(iterations=60, projection="alternating_oneshot",
+        "one-shot alternating": GDConfig(iterations=60, projection_method="alternating_oneshot",
                                          record_history=True, seed=0),
-        "exact projection": GDConfig(iterations=60, projection="exact",
+        "exact projection": GDConfig(iterations=60, projection_method="exact",
                                      projection_epsilon=0.1, record_history=True, seed=0),
-        "dykstra": GDConfig(iterations=60, projection="dykstra",
+        "dykstra": GDConfig(iterations=60, projection_method="dykstra",
                             record_history=True, seed=0),
     }
 

@@ -23,14 +23,22 @@ arXiv:1902.03522, 2019).  The package contains:
 
 Quickstart::
 
-    from repro.graphs import livejournal_like, standard_weights
-    from repro.core import GDPartitioner
-    from repro.partition import edge_locality, max_imbalance
+    from repro import Graph, partition_graph, evaluate
+    from repro.graphs import livejournal_like
 
     graph = livejournal_like()
-    weights = standard_weights(graph, 2)      # balance vertices and edges
-    partition = GDPartitioner(epsilon=0.05).partition(graph, weights, num_parts=8)
-    print(edge_locality(partition), max_imbalance(partition, weights))
+    partition = partition_graph(graph, num_parts=8, epsilon=0.05)
+    print(evaluate(partition))
+
+Stable public surface
+---------------------
+``__all__`` below is the supported API: the top-level types and entry
+points (``Graph``, ``GDPartitioner``, ``GDConfig``, ``partition_graph``,
+``evaluate``, the store/serve entry points) plus the documented
+subpackages.  Everything else — in particular the solver internals under
+:mod:`repro.core` (steppers, noise/step schedules, compaction, kernels)
+— is importable but may change between releases; such modules carry an
+"internal" note in their docstring.
 """
 
 from . import (
@@ -44,14 +52,17 @@ from . import (
     serve,
     store,
 )
-from .core import GDConfig, GDPartitioner, gd_bisect, recursive_bisection
+from .api import evaluate, partition_graph
+from .core import GDConfig, GDPartitioner
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
+from .serve import PartitionService, ServeConfig
+from .store import PartitionStore
 
 # The single source of the package version: pyproject.toml declares
 # ``version`` as dynamic and reads this attribute; the CLI's ``--version``
 # flag prints it.
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "baselines",
@@ -65,8 +76,8 @@ __all__ = [
     "store",
     "GDConfig",
     "GDPartitioner",
-    "gd_bisect",
-    "recursive_bisection",
+    "partition_graph",
+    "evaluate",
     "Graph",
     "load_dataset",
     "standard_weights",
@@ -76,5 +87,31 @@ __all__ = [
     "imbalance",
     "is_epsilon_balanced",
     "max_imbalance",
+    "PartitionService",
+    "ServeConfig",
+    "PartitionStore",
     "__version__",
 ]
+
+# Deprecated top-level aliases: the solver entry points moved behind the
+# curated surface (use repro.partition_graph, or reach into repro.core
+# explicitly).  They keep working for one release with a warning.
+_DEPRECATED_ALIASES = {
+    "gd_bisect": "repro.core.gd_bisect",
+    "recursive_bisection": "repro.core.recursive_bisection",
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import warnings
+
+    warnings.warn(
+        f"repro.{name} is deprecated; import {target} instead "
+        f"(or use repro.partition_graph)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(core, name)

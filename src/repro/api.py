@@ -1,0 +1,62 @@
+"""High-level one-call API: partition a graph, score a partition.
+
+These are the two functions a downstream user needs before caring about
+the layers underneath — a thin veneer over :class:`~repro.core.GDPartitioner`
+and the :mod:`repro.partition` metrics, mirroring what the CLI's
+``partition`` / ``evaluate`` subcommands print.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import GDConfig, GDPartitioner
+from .graphs import Graph, standard_weights
+from .partition import Partition, edge_locality, imbalance
+
+__all__ = ["evaluate", "partition_graph"]
+
+
+def partition_graph(graph: Graph, num_parts: int = 2, *,
+                    weights: np.ndarray | None = None,
+                    epsilon: float = 0.05,
+                    config: GDConfig | None = None) -> Partition:
+    """Partition ``graph`` into ``num_parts`` ε-balanced parts with GD.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    num_parts:
+        Number of parts ``k`` (recursive bisection handles any ``k >= 1``).
+    weights:
+        ``(d, n)`` balance-dimension matrix; defaults to the paper's
+        standard 2-dimensional stack (unit + degree,
+        :func:`~repro.graphs.standard_weights`).
+    epsilon:
+        Allowed relative imbalance per dimension.
+    config:
+        Algorithm parameters (:class:`~repro.core.GDConfig`); defaults to
+        the paper preset.  Every knob — iterations, projection method,
+        parallelism, kernel backend — lives there.
+    """
+    if weights is None:
+        weights = standard_weights(graph, 2)
+    partitioner = GDPartitioner(epsilon=epsilon, config=config)
+    return partitioner.partition(graph, weights, num_parts)
+
+
+def evaluate(partition: Partition, weights: np.ndarray | None = None) -> dict:
+    """Score a partition: edge locality and per-dimension imbalance.
+
+    Returns a JSON-friendly dict with ``num_parts``, ``edge_locality_pct``
+    and ``imbalance_pct`` (one percentage per balance dimension of
+    ``weights``, which defaults to the standard 2-dimensional stack).
+    """
+    if weights is None:
+        weights = standard_weights(partition.graph, 2)
+    return {
+        "num_parts": int(partition.num_parts),
+        "edge_locality_pct": float(edge_locality(partition)),
+        "imbalance_pct": [float(100.0 * v) for v in imbalance(partition, weights)],
+    }

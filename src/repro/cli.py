@@ -52,7 +52,13 @@ from .baselines import (
     SocialHashPartitioner,
     SpinnerPartitioner,
 )
-from .core import GDConfig, GDPartitioner, PARALLELISM_MODES, PROJECTION_METHODS
+from .core import (
+    GDConfig,
+    GDPartitioner,
+    KERNEL_BACKENDS,
+    PARALLELISM_MODES,
+    PROJECTION_METHODS,
+)
 from .graphs import (
     load_dataset,
     read_edge_list,
@@ -98,9 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="GD iterations")
     partition.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="gd",
                            help="partitioning algorithm")
-    partition.add_argument("--projection", choices=PROJECTION_METHODS,
+    partition.add_argument("--projection", dest="projection_method",
+                           choices=PROJECTION_METHODS,
                            default="alternating_oneshot",
                            help="projection method of the GD inner loop (Table 1)")
+    partition.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                           default=None,
+                           help="kernel implementation of the GD hot loop: "
+                                "numpy (bit-identical reference), fused "
+                                "(float64 single-pass step+projection), or "
+                                "fused32 (fused with a float32-staged mat-vec; "
+                                "fastest, quality within the documented bound). "
+                                "Default: the REPRO_KERNEL_BACKEND environment "
+                                "variable, else numpy")
     partition.add_argument("--projection-cache", action=argparse.BooleanOptionalAction,
                            default=True,
                            help="drive projections through the cache-and-warm-start "
@@ -195,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "across backends)")
     repartition.add_argument("--workers", type=int, default=None, metavar="N",
                              help="worker count for --parallelism thread/process")
+    repartition.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                             default=None,
+                             help="kernel implementation of the GD hot loop "
+                                  "(see partition --kernel-backend)")
     repartition.add_argument("--seed", type=int, default=0)
     repartition.add_argument("--output",
                              help="write the repaired part-per-line assignment")
@@ -309,20 +329,12 @@ def _run_partition(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
     weights = weight_matrix(graph, args.weights)
     if args.algorithm == "gd":
-        multilevel_overrides = {}
-        if args.coarsest_size is not None:
-            multilevel_overrides["coarsest_size"] = args.coarsest_size
-        if args.refinement_iterations is not None:
-            multilevel_overrides["refinement_iterations"] = args.refinement_iterations
-        partitioner = GDPartitioner(
-            epsilon=args.epsilon,
-            config=GDConfig(iterations=args.iterations, seed=args.seed,
-                            projection=args.projection,
-                            projection_cache=args.projection_cache,
-                            parallelism=args.parallelism, max_workers=args.workers,
-                            multilevel=args.multilevel,
-                            compaction=args.compaction,
-                            **multilevel_overrides))
+        # Every GDConfig-shaped flag (iterations, seed, projection method,
+        # parallelism, multilevel knobs, kernel backend, ...) flows through
+        # the shared from_args convention; absent optional flags fall back
+        # to the field defaults.
+        partitioner = GDPartitioner(epsilon=args.epsilon,
+                                    config=GDConfig.from_args(args))
     else:
         partitioner = (_ALGORITHMS[args.algorithm](seed=args.seed)
                        if args.algorithm != "hash" else HashPartitioner(salt=args.seed))
@@ -390,16 +402,9 @@ def _run_repartition(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         return _fail(str(error))
 
-    overrides = {}
-    if args.hops is not None:
-        overrides["repartition_hops"] = args.hops
-    if args.damage_threshold is not None:
-        overrides["repartition_damage_threshold"] = args.damage_threshold
-    if args.repair_iterations is not None:
-        overrides["repartition_iterations"] = args.repair_iterations
-    config = GDConfig(iterations=args.iterations, seed=args.seed,
-                      parallelism=args.parallelism, max_workers=args.workers,
-                      **overrides)
+    # --hops/--damage-threshold/--repair-iterations map onto the
+    # repartition_* fields via GDConfig._ARG_ALIASES.
+    config = GDConfig.from_args(args)
     dynamic = DynamicGraph(graph, weights)
     repartitioner = IncrementalRepartitioner(dynamic, assignment, num_parts,
                                              epsilon=args.epsilon, config=config)
@@ -510,15 +515,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         logging.basicConfig(level=logging.INFO, stream=sys.stderr,
                             format="%(asctime)s %(name)s %(levelname)s "
                                    "%(message)s")
-        serve_config = ServeConfig(host=args.host, port=args.port,
-                                   epsilon=args.epsilon,
-                                   max_queue=args.max_queue,
-                                   shutdown_drain_seconds=args.drain_seconds)
+        serve_config = ServeConfig.from_args(args)
         try:
             service = PartitionService.from_store(
                 args.store, args.graph, args.assignment,
                 weight_names=tuple(args.weights),
-                config=GDConfig(iterations=args.iterations, seed=args.seed),
+                config=GDConfig.from_args(args),
                 serve_config=serve_config)
         except (StoreError, OSError, ValueError) as error:
             return _fail(str(error))

@@ -1,7 +1,22 @@
 """The paper's primary contribution: projected-gradient-descent partitioning."""
 
-from .config import GDConfig, PARALLELISM_MODES, PROJECTION_METHODS
+from .config import (
+    ConfigIO,
+    GDConfig,
+    KERNEL_BACKENDS,
+    PARALLELISM_MODES,
+    PROJECTION_METHODS,
+    install_rename_shims,
+)
 from .executor import BisectionExecutor, task_seed
+from .kernels import (
+    Fused32Backend,
+    FusedBackend,
+    KernelBackend,
+    KernelStats,
+    NumpyBackend,
+    make_backend,
+)
 from .relaxation import QuadraticRelaxation
 from .noise import BatchedNoiseSchedule, NoiseSchedule
 from .step import BatchedStepSizeController, StepSizeController, target_step_length
@@ -33,11 +48,20 @@ from .projection import (
 )
 
 __all__ = [
+    "ConfigIO",
     "GDConfig",
+    "KERNEL_BACKENDS",
     "PARALLELISM_MODES",
     "PROJECTION_METHODS",
+    "install_rename_shims",
     "BisectionExecutor",
     "task_seed",
+    "Fused32Backend",
+    "FusedBackend",
+    "KernelBackend",
+    "KernelStats",
+    "NumpyBackend",
+    "make_backend",
     "QuadraticRelaxation",
     "BatchedNoiseSchedule",
     "NoiseSchedule",

@@ -47,6 +47,8 @@ the identity), so it *drops out of the batch*: it is masked from the
 projection and step-size work while the rest of the wave continues, and
 the whole loop exits once every block has converged.  Dropping out is
 output-neutral — a serial run would keep iterating on a frozen iterate.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations
@@ -61,6 +63,7 @@ from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_weights
 from .config import GDConfig
 from .gd import bisection_regions, finalize_bisection, gd_bisect
+from .kernels import KernelStats, make_backend
 from .noise import BatchedNoiseSchedule, NoiseSchedule
 from .projection import BatchedProjectionEngine
 from .relaxation import QuadraticRelaxation
@@ -96,8 +99,12 @@ class FrontierStats:
     vectorized_projections: int = 0
     engine_projections: int = 0
     #: Tasks advanced per task instead of in lock-step (multilevel-sized
-    #: subgraphs, or any task under ``config.compaction``).
+    #: subgraphs, any task under ``config.compaction``, and every task
+    #: when a non-reference kernel backend is selected).
     solo_tasks: int = 0
+    #: Aggregated per-kernel call/ns counters across the stacked loop and
+    #: every solo task (``KernelStats.as_dict`` form).
+    kernel_stats: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,7 @@ class BatchedFrontierSolver:
         config = self._tasks[0].config
         results: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(self._tasks)
         blocks: list[_Block] = []
+        kernel_totals = KernelStats()
         for index, task in enumerate(self._tasks):
             # Same checks in the same order as gd_bisect (epsilon, weights,
             # target fraction), so an invalid task raises the identical
@@ -176,11 +184,19 @@ class BatchedFrontierSolver:
                 results[index] = np.empty(0, dtype=np.int64)
                 continue
             if (config.compaction
+                    or config.kernel_backend != "numpy"
                     or (config.multilevel
                         and task.subgraph.num_vertices > config.coarsest_size)):
-                results[index] = gd_bisect(
-                    task.subgraph, weights, epsilon, task.config,
-                    task.target_fraction).partition.assignment
+                # A non-reference kernel backend also routes solo: the
+                # stacked loop's lock-step arithmetic is only bit-matched
+                # to the reference kernels, so each task runs byte-for-byte
+                # the serial backend's code instead — which preserves the
+                # within-backend executor bit-parity trivially.
+                result = gd_bisect(task.subgraph, weights, epsilon, task.config,
+                                   task.target_fraction)
+                results[index] = result.partition.assignment
+                if result.kernel_stats:
+                    kernel_totals.merge(result.kernel_stats)
                 self.stats.solo_tasks += 1
                 continue
             blocks.append(_Block(
@@ -194,6 +210,8 @@ class BatchedFrontierSolver:
         if blocks:
             for block, assignment in zip(blocks, self._solve_blocks(blocks)):
                 results[block.index] = assignment
+            kernel_totals.merge(self.stats.kernel_stats)
+        self.stats.kernel_stats = kernel_totals.as_dict()
         return results
 
     # ------------------------------------------------------------------ #
@@ -205,6 +223,7 @@ class BatchedFrontierSolver:
         stacked, offsets = Graph.block_diagonal([block.graph for block in blocks])
         sizes = np.diff(offsets)
         relaxation = QuadraticRelaxation(stacked)
+        backend = make_backend(config.kernel_backend)
 
         regions, final_regions, centers = [], [], []
         for block in blocks:
@@ -213,8 +232,9 @@ class BatchedFrontierSolver:
             regions.append(region)
             final_regions.append(final_region)
             centers.append(center)
-        projection = BatchedProjectionEngine(config.projection, regions,
-                                             cache=config.projection_cache)
+        projection = BatchedProjectionEngine(config.projection_method, regions,
+                                             cache=config.projection_cache,
+                                             backend=backend)
 
         rngs = [np.random.default_rng(block.seed) for block in blocks]
         noise = BatchedNoiseSchedule([
@@ -243,9 +263,7 @@ class BatchedFrontierSolver:
             self.stats.iterations_run += 1
 
             if iteration == 0 or noisy_iterations:
-                free = ~fixed
-                z = x.copy()
-                z[free] += noise.sample_stacked(iteration)[free]
+                z = backend.mix_noise(x, noise.sample_stacked(iteration), ~fixed)
             else:
                 # No noise this iteration: the serial path adds a zero
                 # vector, which cannot change any magnitude (only,
@@ -253,41 +271,38 @@ class BatchedFrontierSolver:
                 # every comparison and rounding step downstream), so the
                 # copy-and-add is skipped.
                 z = x
-            gradient = relaxation.gradient(z)
+            gradient = backend.block_spmv(relaxation.adjacency, z)
 
             if not controller.primed:
                 # First iteration: per-block gradient norms, exactly as the
                 # scalar controller normalizes (no vertex is fixed yet).
-                # np.linalg.norm of a 1-D float64 vector is sqrt(x @ x);
-                # the dot is spelled out to skip the wrapper overhead.
                 norms = np.array([
-                    float(np.sqrt(gradient[offsets[b]:offsets[b + 1]]
-                                  @ gradient[offsets[b]:offsets[b + 1]]))
+                    backend.norm(gradient[offsets[b]:offsets[b + 1]])
                     for b in range(num_blocks)])
                 gammas = controller.step_sizes(norms)
             else:
                 gammas = controller.step_sizes()
 
-            y = z + np.repeat(gammas, sizes) * gradient
-            y[fixed] = x[fixed]
+            y = backend.axpy(np.repeat(gammas, sizes), gradient, z)
+            backend.masked_assign(y, fixed, x)
 
             new_x = projection.project_frontier(y, x, fixed, active, free_counts)
 
-            delta = new_x - x
             # Converged blocks take no step (their delta is exactly zero
             # and the controller masks them anyway), so only active blocks
             # pay for a norm.
             realized = np.zeros(num_blocks)
             for b in np.flatnonzero(active):
-                segment = delta[offsets[b]:offsets[b + 1]]
-                realized[b] = float(np.sqrt(segment @ segment))
+                segment = slice(offsets[b], offsets[b + 1])
+                realized[b] = backend.step_norm(new_x[segment], x[segment])
             controller.update(realized, active)
             x = new_x
 
             if config.vertex_fixing and iteration >= fixing_start:
-                newly_fixed = (~fixed) & (np.abs(x) >= config.fixing_threshold)
+                newly_fixed = (~fixed) & backend.fixing_mask(x, config.fixing_threshold)
                 if newly_fixed.any():
-                    x[newly_fixed] = np.where(x[newly_fixed] >= 0.0, 1.0, -1.0)
+                    backend.scatter(x, newly_fixed,
+                                    backend.snap(backend.gather(x, newly_fixed)))
                     fixed |= newly_fixed
                     free_counts = free_counts - np.add.reduceat(
                         newly_fixed.astype(np.int64), offsets[:-1])
@@ -304,6 +319,8 @@ class BatchedFrontierSolver:
             segment = slice(offsets[b], offsets[b + 1])
             sides = finalize_bisection(block.graph, block.weights, config,
                                        block.epsilon, final_regions[b], centers[b],
-                                       x[segment], fixed[segment], rngs[b])
+                                       x[segment], fixed[segment], rngs[b],
+                                       backend=backend)
             assignments.append(Partition.from_sides(block.graph, sides).assignment)
+        self.stats.kernel_stats = backend.stats.as_dict()
         return assignments

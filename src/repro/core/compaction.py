@@ -27,6 +27,8 @@ not bit-equal to it — restricted sums visit the same addends in a
 different order — which is why it is an opt-in
 (:attr:`repro.core.GDConfig.compaction`); the multilevel refinement
 passes, which start majority-fixed, enable it unconditionally.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations
@@ -58,10 +60,15 @@ class FreeVertexSystem:
     adjacency:
         The full (possibly edge-weighted) symmetric adjacency.
     fixed:
-        Global boolean mask of fixed vertices (must have at least one
-        ``True`` — a fully free system is just the original operator).
+        Global boolean mask of fixed vertices.  With no fixed vertex the
+        system degenerates to the original operator itself (no slicing,
+        zero boundary) — the fused stepper's starting state.
     values:
         Full iterate; only the entries at fixed positions are read.
+    backend:
+        Optional :class:`~repro.core.kernels.KernelBackend` the gradient
+        mat-vec routes through; enables per-kernel counters and float32
+        staging.  ``None`` keeps the direct scipy call.
     """
 
     #: Live fraction below which the epoch matrix is re-sliced.  Dead
@@ -71,17 +78,25 @@ class FreeVertexSystem:
     _RESLICE_FRACTION = 0.25
 
     def __init__(self, adjacency: sparse.csr_matrix, fixed: np.ndarray,
-                 values: np.ndarray):
+                 values: np.ndarray, backend=None):
         fixed = np.asarray(fixed, dtype=bool)
         if fixed.shape[0] != adjacency.shape[0]:
             raise ValueError("fixed mask must have one entry per vertex")
         values = np.asarray(values, dtype=np.float64)
+        self._backend = backend
         free_ids = np.flatnonzero(~fixed)
-        fixed_ids = np.flatnonzero(fixed)
-        epoch_rows = adjacency[free_ids]
-        self._matrix = epoch_rows[:, free_ids].tocsr()
-        self._boundary = np.asarray(
-            epoch_rows[:, fixed_ids] @ values[fixed_ids]).ravel()
+        if not fixed.any():
+            # Fully free: the epoch operator is the adjacency itself (no
+            # copy — important for backends that stage the matrix by
+            # identity) and the boundary contribution is zero.
+            self._matrix = adjacency
+            self._boundary = np.zeros(adjacency.shape[0])
+        else:
+            fixed_ids = np.flatnonzero(fixed)
+            epoch_rows = adjacency[free_ids]
+            self._matrix = epoch_rows[:, free_ids].tocsr()
+            self._boundary = np.asarray(
+                epoch_rows[:, fixed_ids] @ values[fixed_ids]).ravel()
         self._epoch_ids = free_ids           # global ids of epoch coords
         self._live = np.ones(free_ids.size, dtype=bool)
         self._frozen = np.zeros(free_ids.size)  # values of dead epoch coords
@@ -111,10 +126,16 @@ class FreeVertexSystem:
     def gradient(self, z_free: np.ndarray) -> np.ndarray:
         """``∇f`` over the free coordinates: ``(A z)_F`` with fixed
         contributions from the boundary term and the frozen buffer."""
+        backend = self._backend
         if self._live.all():
+            if backend is not None:
+                return backend.free_gradient(self._matrix, self._boundary, z_free)
             return self._matrix @ z_free + self._boundary
         z_epoch = self._frozen.copy()
         z_epoch[self._live] = z_free
+        if backend is not None:
+            full = backend.free_gradient(self._matrix, self._boundary, z_epoch)
+            return backend.gather(full, self._live)
         return (self._matrix @ z_epoch + self._boundary)[self._live]
 
     def fix(self, newly_fixed: np.ndarray, values: np.ndarray) -> None:

@@ -1,12 +1,35 @@
-"""Configuration of the projected-gradient-descent partitioner."""
+"""Configuration of the projected-gradient-descent partitioner.
+
+Also home of the package-wide config conventions:
+
+* :class:`ConfigIO` — the shared ``to_dict`` / ``from_dict`` /
+  ``from_args`` mixin every config dataclass follows, so each subsystem
+  is constructible from JSON or an ``argparse`` namespace the same way;
+* :func:`install_rename_shims` — the deprecation mechanism renamed
+  fields go through (old keyword and attribute keep working for one
+  release, with a :class:`DeprecationWarning`).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import dataclasses
+import functools
+import os
+import warnings
+from dataclasses import dataclass, field, replace
 
-__all__ = ["GDConfig", "PARALLELISM_MODES", "PROJECTION_METHODS"]
+from .kernels import KERNEL_BACKENDS
 
-#: Projection methods accepted by :class:`GDConfig.projection`.
+__all__ = [
+    "ConfigIO",
+    "GDConfig",
+    "KERNEL_BACKENDS",
+    "PARALLELISM_MODES",
+    "PROJECTION_METHODS",
+    "install_rename_shims",
+]
+
+#: Projection methods accepted by :class:`GDConfig.projection_method`.
 PROJECTION_METHODS = (
     "exact",
     "alternating",
@@ -23,8 +46,145 @@ PARALLELISM_MODES = (
 )
 
 
+def _default_kernel_backend() -> str:
+    """Default kernel backend, overridable via ``REPRO_KERNEL_BACKEND``.
+
+    The environment hook exists so a whole test/benchmark run can be
+    pointed at a backend without touching every config construction
+    (CI matrixes the fast suite over it).
+    """
+    return os.environ.get("REPRO_KERNEL_BACKEND", "numpy")
+
+
+def install_rename_shims(cls, renames: dict[str, str]):
+    """Make renamed dataclass fields accept their old names, with warnings.
+
+    For each ``old -> new`` entry the generated ``__init__`` is wrapped so
+    ``old=`` keywords are remapped to ``new=`` (emitting a
+    :class:`DeprecationWarning`; passing both is a :class:`TypeError`),
+    and a read-only ``old`` property that forwards to ``new`` is added.
+    ``with_updates`` is wrapped the same way — it cannot reuse the
+    ``__init__`` remap because :func:`dataclasses.replace` passes every
+    current field, which would collide with the remapped keyword.
+    """
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def __init__(self, *args, **kwargs):
+        for old, new in renames.items():
+            if old in kwargs:
+                if new in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got values for both {old!r} and its "
+                        f"replacement {new!r}"
+                    )
+                warnings.warn(
+                    f"{cls.__name__} field {old!r} was renamed to {new!r}; "
+                    f"the old name will be removed in a future release",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kwargs[new] = kwargs.pop(old)
+        original_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+
+    def _make_alias(old: str, new: str) -> property:
+        def getter(self):
+            warnings.warn(
+                f"{cls.__name__}.{old} was renamed to {new}; "
+                f"the old name will be removed in a future release",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(self, new)
+
+        getter.__doc__ = f"Deprecated alias of :attr:`{new}`."
+        return property(getter)
+
+    for old, new in renames.items():
+        setattr(cls, old, _make_alias(old, new))
+
+    original_with_updates = getattr(cls, "with_updates", None)
+    if original_with_updates is not None:
+        @functools.wraps(original_with_updates)
+        def with_updates(self, **changes):
+            for old, new in renames.items():
+                if old in changes:
+                    if new in changes:
+                        raise TypeError(
+                            f"{cls.__name__}.with_updates() got values for both "
+                            f"{old!r} and its replacement {new!r}"
+                        )
+                    warnings.warn(
+                        f"{cls.__name__} field {old!r} was renamed to {new!r}; "
+                        f"the old name will be removed in a future release",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    changes[new] = changes.pop(old)
+            return original_with_updates(self, **changes)
+
+        cls.with_updates = with_updates
+    return cls
+
+
+class ConfigIO:
+    """Shared construction/serialization convention of config dataclasses.
+
+    Subclasses may override :attr:`_ARG_ALIASES` (argparse ``dest`` →
+    field name) and :attr:`_RENAMED_FIELDS` (deprecated field name → new
+    name, accepted by :meth:`from_dict` with a warning).
+    """
+
+    _ARG_ALIASES: dict[str, str] = {}
+    _RENAMED_FIELDS: dict[str, str] = {}
+
+    def to_dict(self) -> dict:
+        """All fields as a JSON-serializable dict (round-trips through
+        :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, mapping: dict):
+        """Construct from a (JSON-loaded) mapping; unknown keys raise."""
+        values = dict(mapping)
+        for old, new in cls._RENAMED_FIELDS.items():
+            if old in values:
+                warnings.warn(
+                    f"{cls.__name__} field {old!r} was renamed to {new!r}; "
+                    f"the old name will be removed in a future release",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                values[new] = values.pop(old)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ValueError(f"unknown {cls.__name__} fields: {', '.join(unknown)}")
+        return cls(**values)
+
+    @classmethod
+    def from_args(cls, namespace, **overrides):
+        """Construct from an ``argparse`` namespace.
+
+        Namespace entries whose ``dest`` (after :attr:`_ARG_ALIASES`)
+        matches a field are taken; ``None`` values are skipped so absent
+        optional flags fall back to the field defaults.  ``overrides``
+        win over namespace values.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        values = {}
+        for dest, value in vars(namespace).items():
+            name = cls._ARG_ALIASES.get(dest, dest)
+            if name in known and value is not None:
+                values[name] = value
+        values.update(overrides)
+        return cls(**values)
+
+
 @dataclass(frozen=True)
-class GDConfig:
+class GDConfig(ConfigIO):
     """Parameters of Algorithm 1 (GD) and its implementation details (§3).
 
     Attributes
@@ -47,10 +207,11 @@ class GDConfig:
     fixing_start_fraction:
         Fraction of the iteration budget after which fixing may begin
         (fixing from the very first iterations would freeze noise).
-    projection:
+    projection_method:
         One of ``"exact"``, ``"alternating"`` (to convergence),
         ``"alternating_oneshot"`` (paper default for large graphs), or
-        ``"dykstra"``.
+        ``"dykstra"``.  (Renamed from ``projection``, which keeps working
+        with a :class:`DeprecationWarning`.)
     projection_epsilon:
         Allowed imbalance used *inside* the projection.  The paper observes
         that a larger allowed imbalance during the descent gives the
@@ -69,6 +230,20 @@ class GDConfig:
         Caching does not change the partitions: outputs are bit-identical
         for the alternating/exact methods and agree to the solver tolerance
         (~1e-9) for Dykstra.
+    kernel_backend:
+        Kernel implementation the hot loop runs on — one of
+        :data:`~repro.core.kernels.KERNEL_BACKENDS` (``"numpy"`` the
+        bit-identical reference, ``"fused"`` the float64 fused
+        step+projection pass, ``"fused32"`` the fused pass with a
+        float32-staged mat-vec).  The default reads the
+        ``REPRO_KERNEL_BACKEND`` environment variable (falling back to
+        ``"numpy"``) so whole test runs can be pointed at a backend.
+        Fused backends engage their single-pass iteration only when
+        ``projection_method`` is ``"alternating_oneshot"`` (the pass
+        *is* that sweep); for other methods they run the reference
+        kernel path.  Within any backend, outputs are bit-identical
+        across all ``parallelism`` modes; across backends the contract
+        is bounded quality (see :mod:`repro.core.kernels.base`).
     noise_std:
         Standard deviation of the Gaussian noise added at iteration 0;
         ``None`` picks ``1 / sqrt(n)`` which is enough to leave the saddle
@@ -164,9 +339,10 @@ class GDConfig:
     vertex_fixing: bool = True
     fixing_threshold: float = 0.99
     fixing_start_fraction: float = 0.25
-    projection: str = "alternating_oneshot"
+    projection_method: str = "alternating_oneshot"
     projection_epsilon: float | None = None
     projection_cache: bool = True
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
     noise_std: float | None = None
     noise_every_iteration: bool = False
     final_projection_rounds: int = 50
@@ -183,6 +359,14 @@ class GDConfig:
     repartition_damage_threshold: float = 0.05
     repartition_iterations: int = 10
 
+    _ARG_ALIASES = {
+        "workers": "max_workers",
+        "hops": "repartition_hops",
+        "damage_threshold": "repartition_damage_threshold",
+        "repair_iterations": "repartition_iterations",
+    }
+    _RENAMED_FIELDS = {"projection": "projection_method"}
+
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise ValueError("iterations must be at least 1")
@@ -192,11 +376,14 @@ class GDConfig:
             raise ValueError("fixing_threshold must be in (0, 1]")
         if not 0.0 <= self.fixing_start_fraction <= 1.0:
             raise ValueError("fixing_start_fraction must be in [0, 1]")
-        if self.projection not in PROJECTION_METHODS:
-            raise ValueError(f"projection must be one of {PROJECTION_METHODS}, "
-                             f"got {self.projection!r}")
+        if self.projection_method not in PROJECTION_METHODS:
+            raise ValueError(f"projection_method must be one of {PROJECTION_METHODS}, "
+                             f"got {self.projection_method!r}")
         if self.projection_epsilon is not None and self.projection_epsilon <= 0:
             raise ValueError("projection_epsilon must be positive when given")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                             f"got {self.kernel_backend!r}")
         if self.final_projection_rounds < 0:
             raise ValueError("final_projection_rounds must be non-negative")
         if self.parallelism not in PARALLELISM_MODES:
@@ -218,3 +405,6 @@ class GDConfig:
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+
+install_rename_shims(GDConfig, {"projection": "projection_method"})

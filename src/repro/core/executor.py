@@ -26,6 +26,8 @@ the workers.  Worker processes must be able to import :mod:`repro`; when the
 multiprocessing start method is ``spawn`` (the default on macOS/Windows) this
 means ``src`` has to be on ``PYTHONPATH`` — on Linux the default ``fork``
 start method inherits the parent's ``sys.path``.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations

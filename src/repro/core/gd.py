@@ -47,6 +47,7 @@ from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_weights
 from .compaction import FreeVertexSystem
 from .config import GDConfig
+from .kernels import KernelBackend, make_backend
 from .noise import NoiseSchedule
 from .projection import (
     AlternatingProjector,
@@ -97,6 +98,11 @@ class BisectionResult:
     same balance dimensions — the incremental repartitioner's repair
     passes, most notably — can seed its engine from this solve's end
     state instead of a cold start.
+
+    ``kernel_stats`` is the run's per-kernel observability: call and
+    nanosecond counters of every
+    :class:`~repro.core.kernels.KernelBackend` kernel the solve invoked
+    (``{kernel: {"calls": ..., "ns": ...}}``).
     """
 
     partition: Partition
@@ -107,6 +113,7 @@ class BisectionResult:
     elapsed_seconds: float
     projection_stats: ProjectionStats | None = field(default=None, repr=False)
     warm_lambdas: dict[int, float] | None = field(default=None, repr=False)
+    kernel_stats: dict | None = field(default=None, repr=False)
 
 
 def _history_record(graph: Graph, weights: np.ndarray, relaxation: QuadraticRelaxation,
@@ -153,7 +160,8 @@ def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
                        epsilon: float, final_region: FeasibleRegion,
                        center: np.ndarray, x: np.ndarray, fixed: np.ndarray,
                        rng: np.random.Generator,
-                       movable: np.ndarray | None = None) -> np.ndarray:
+                       movable: np.ndarray | None = None,
+                       backend: KernelBackend | None = None) -> np.ndarray:
     """Shared tail of one bisection: clean-up projection, rounding, repair.
 
     One-shot alternating projections accumulate a residual imbalance; run
@@ -182,7 +190,7 @@ def finalize_bisection(graph: Graph, weights: np.ndarray, config: GDConfig,
     sides = randomized_round(x, rng)
     if config.balance_repair:
         sides = balance_repair(graph, sides, weights, epsilon, center=center,
-                               movable=movable)
+                               movable=movable, backend=backend)
     return sides
 
 
@@ -274,22 +282,41 @@ class BisectionStepper:
         self.controller = StepSizeController(step_target, adaptive=config.adaptive_step)
 
         self.fixing_start = int(config.fixing_start_fraction * config.iterations)
+        # One backend instance per stepper: kernels carry per-run stats and
+        # (for the fused backends) per-run staging caches, and worker
+        # processes construct their own — no kernel state crosses the
+        # pickle boundary.
+        self.backend = make_backend(config.kernel_backend)
         # One engine per bisection: the feasible region (and hence every
         # cached weight invariant) is constant across iterations, and
         # consecutive iterates warm-start each other's projections.  Worker
         # processes of the parallel recursive scheduler each run their own
         # gd_bisect and hence build their own engine — no cache state
         # crosses the pickle boundary.
-        self.engine = ProjectionEngine(config.projection, self.region,
-                                       cache=config.projection_cache)
+        self.engine = ProjectionEngine(config.projection_method, self.region,
+                                       cache=config.projection_cache,
+                                       backend=self.backend)
         if warm_lambdas:
             self.engine.seed_warm_lambdas(warm_lambdas)
 
+        # The fused backends replace the step/projection kernels with one
+        # pass over the compacted free set — but the pass *is* the
+        # one-shot band-center sweep, so other projection methods fall
+        # back to the reference kernel path.
+        self._fused = (self.backend.fuses_iteration
+                       and config.projection_method == "alternating_oneshot")
+        self._fused_system: FreeVertexSystem | None = None
+        self._fused_weights: np.ndarray | None = None
+        self._fused_centers: np.ndarray | None = None
+        self._fused_norms: np.ndarray | None = None
+
         self._compact: FreeVertexSystem | None = None
         self._compact_projection_ready = False
-        if config.compaction and self.fixed.any() and not self.fixed.all():
+        if (not self._fused and config.compaction
+                and self.fixed.any() and not self.fixed.all()):
             self._compact = FreeVertexSystem(self.relaxation.adjacency,
-                                             self.fixed, self.x)
+                                             self.fixed, self.x,
+                                             backend=self.backend)
 
     @property
     def converged(self) -> bool:
@@ -300,48 +327,54 @@ class BisectionStepper:
         """Run one noise/gradient/projection iteration; returns the
         realized (post-projection) Euclidean step length."""
         config = self.config
-        if config.compaction:
+        backend = self.backend
+        if self._fused or config.compaction:
             if self.converged:
                 # Nothing can move; skip the work (and the noise draw —
-                # acceptable because compaction already waives bit-parity
-                # with the masked path).
+                # acceptable because the fused/compacted paths already
+                # waive bit-parity with the masked path).
                 if config.record_history:
                     self.history.append(_history_record(
                         self.graph, self.weights, self.relaxation, self.x,
                         iteration, 0.0, int(self.fixed.sum()), self.level))
                 return 0.0
+            if self._fused:
+                return self._step_fused(iteration)
             if self._compact is not None:
                 return self._step_compacted(iteration)
         free = ~self.fixed
-        z = self.x.copy()
-        z[free] += self.noise.sample(iteration)[free]
+        z = backend.mix_noise(self.x, self.noise.sample(iteration), free)
 
-        gradient = self.relaxation.gradient(z)
-        gamma = self.controller.step_size(gradient[free] if free.any() else gradient)
-        y = z + gamma * gradient
-        y[self.fixed] = self.x[self.fixed]
+        gradient = backend.spmv(self.relaxation.adjacency, z)
+        gamma = self.controller.step_size(
+            backend.gather(gradient, free) if free.any() else gradient)
+        y = backend.axpy(gamma, gradient, z)
+        backend.masked_assign(y, self.fixed, self.x)
 
         if self.fixed.any():
             new_x = self.x.copy()
-            new_x[free] = self.engine.project_restricted(y[free], free,
-                                                         self.x[self.fixed])
+            backend.scatter(new_x, free, self.engine.project_restricted(
+                backend.gather(y, free), free, backend.gather(self.x, self.fixed)))
         else:
             new_x = self.engine.project(y)
 
-        realized = float(np.linalg.norm(new_x - self.x))
+        realized = backend.step_norm(new_x, self.x)
         self.controller.update(realized)
         self.x = new_x
 
         if config.vertex_fixing and iteration >= self.fixing_start:
-            newly_fixed = (~self.fixed) & (np.abs(self.x) >= config.fixing_threshold)
+            newly_fixed = (~self.fixed) & backend.fixing_mask(self.x,
+                                                              config.fixing_threshold)
             if newly_fixed.any():
-                self.x[newly_fixed] = np.where(self.x[newly_fixed] >= 0.0, 1.0, -1.0)
+                backend.scatter(self.x, newly_fixed,
+                                backend.snap(backend.gather(self.x, newly_fixed)))
                 self.fixed |= newly_fixed
                 if config.compaction and not self.fixed.all():
                     # First fixing event under compaction: switch the
                     # remaining iterations to the restricted system.
                     self._compact = FreeVertexSystem(self.relaxation.adjacency,
-                                                     self.fixed, self.x)
+                                                     self.fixed, self.x,
+                                                     backend=backend)
 
         if config.record_history:
             self.history.append(_history_record(self.graph, self.weights,
@@ -362,19 +395,22 @@ class BisectionStepper:
         incrementally (:meth:`ProjectionEngine.narrow_restricted`).
         """
         config = self.config
+        backend = self.backend
         compact = self._compact
         free_ids = compact.free_ids
-        x_free = self.x[free_ids]
+        x_free = backend.gather(self.x, free_ids)
 
         if iteration == 0 or self.noise.every_iteration:
-            z = x_free + self.noise.sample(iteration)[free_ids]
+            z = backend.mix_noise(x_free,
+                                  backend.gather(self.noise.sample(iteration),
+                                                 free_ids))
         else:
             # The schedule would return all-zeros (drawing nothing from
             # the RNG); skip the O(n) allocation and the no-op add.
             z = x_free
         gradient = compact.gradient(z)
         gamma = self.controller.step_size(gradient)
-        y = z + gamma * gradient
+        y = backend.axpy(gamma, gradient, z)
 
         if self.engine.cache_enabled:
             if not self._compact_projection_ready:
@@ -387,20 +423,105 @@ class BisectionStepper:
             new_free = self.engine.project_restricted(y, ~self.fixed,
                                                       self.x[self.fixed])
 
-        delta = new_free - x_free
-        realized = float(np.sqrt(delta @ delta))
+        realized = backend.step_norm(new_free, x_free)
         self.controller.update(realized)
-        self.x[free_ids] = new_free
+        backend.scatter(self.x, free_ids, new_free)
 
         if config.vertex_fixing and iteration >= self.fixing_start:
-            newly_fixed = np.abs(new_free) >= config.fixing_threshold
+            newly_fixed = backend.fixing_mask(new_free, config.fixing_threshold)
             if newly_fixed.any():
-                snapped = np.where(new_free[newly_fixed] >= 0.0, 1.0, -1.0)
-                self.x[free_ids[newly_fixed]] = snapped
-                self.fixed[free_ids[newly_fixed]] = True
+                snapped = backend.snap(backend.gather(new_free, newly_fixed))
+                dying_ids = backend.gather(free_ids, newly_fixed)
+                backend.scatter(self.x, dying_ids, snapped)
+                self.fixed[dying_ids] = True
                 compact.fix(newly_fixed, snapped)
                 if self._compact_projection_ready:
                     self.engine.narrow_restricted(~newly_fixed, snapped)
+
+        if config.record_history:
+            self.history.append(_history_record(self.graph, self.weights,
+                                                self.relaxation, self.x, iteration,
+                                                realized, int(self.fixed.sum()),
+                                                self.level))
+        return realized
+
+    def _ensure_fused_state(self) -> None:
+        """Lazily build the fused path's free-vertex system and the
+        restricted sweep invariants it projects with."""
+        if self._fused_system is not None:
+            return
+        backend = self.backend
+        self._fused_system = FreeVertexSystem(self.relaxation.adjacency,
+                                              self.fixed, self.x,
+                                              backend=backend)
+        region = self.region
+        if self.fixed.any():
+            restricted = region.restrict(~self.fixed, self.x[self.fixed])
+        else:
+            restricted = region
+        # Contiguous copy: the fused pass dots every row per iteration,
+        # and the contiguous dot kernel is the fast one.
+        self._fused_weights = np.ascontiguousarray(restricted.weights)
+        self._fused_centers = 0.5 * (restricted.lower + restricted.upper)
+        self._fused_norms = np.einsum("ij,ij->i", self._fused_weights,
+                                      self._fused_weights)
+
+    def _step_fused(self, iteration: int) -> float:
+        """One fused iteration: SpMV → step → one-shot projection in a
+        single backend pass over the compacted free set.
+
+        Mirrors :meth:`_step_compacted`'s structure (free-vertex system,
+        O(free) updates, incremental narrowing on fixing events) but
+        hands the whole step+sweep+clip to
+        :meth:`~repro.core.kernels.KernelBackend.fused_update`, with the
+        restricted sweep invariants maintained here instead of inside
+        the projection engine.  Like compaction, the fused path waives
+        bit-parity with the masked path; within the backend it is fully
+        deterministic.
+        """
+        config = self.config
+        backend = self.backend
+        self._ensure_fused_state()
+        system = self._fused_system
+        free_ids = system.free_ids
+        x_free = backend.gather(self.x, free_ids)
+
+        if iteration == 0 or self.noise.every_iteration:
+            z = backend.mix_noise(x_free,
+                                  backend.gather(self.noise.sample(iteration),
+                                                 free_ids))
+        else:
+            z = x_free
+        gradient = system.gradient(z)
+        gamma = self.controller.step_size(gradient)
+        new_free = backend.fused_update(z, gamma, gradient, self._fused_weights,
+                                        self._fused_centers, self._fused_norms)
+
+        realized = backend.step_norm(new_free, x_free)
+        self.controller.update(realized)
+        backend.scatter(self.x, free_ids, new_free)
+        # The engine is bypassed, but the projection happened; keep the
+        # result's projection counters meaningful.
+        self.engine.count_external_projection()
+
+        if config.vertex_fixing and iteration >= self.fixing_start:
+            newly_fixed = backend.fixing_mask(new_free, config.fixing_threshold)
+            if newly_fixed.any():
+                snapped = backend.snap(backend.gather(new_free, newly_fixed))
+                dying_ids = backend.gather(free_ids, newly_fixed)
+                backend.scatter(self.x, dying_ids, snapped)
+                self.fixed[dying_ids] = True
+                system.fix(newly_fixed, snapped)
+                # Narrow the sweep invariants in place: the dropped
+                # columns' (constant) contribution shifts the band
+                # centers, exactly as FeasibleRegion.restrict would.
+                surviving = ~newly_fixed
+                self._fused_centers = (self._fused_centers
+                                       - self._fused_weights[:, newly_fixed] @ snapped)
+                self._fused_weights = np.ascontiguousarray(
+                    self._fused_weights[:, surviving])
+                self._fused_norms = np.einsum("ij,ij->i", self._fused_weights,
+                                              self._fused_weights)
 
         if config.record_history:
             self.history.append(_history_record(self.graph, self.weights,
@@ -414,7 +535,7 @@ class BisectionStepper:
         config = self.config
         sides = finalize_bisection(self.graph, self.weights, config, self.epsilon,
                                    self.final_region, self.center, self.x,
-                                   self.fixed, self.rng)
+                                   self.fixed, self.rng, backend=self.backend)
         partition = Partition.from_sides(self.graph, sides)
 
         if config.record_history:
@@ -432,6 +553,7 @@ class BisectionStepper:
             elapsed_seconds=time.perf_counter() - self._start_time,
             projection_stats=self.engine.stats,
             warm_lambdas=self.engine.export_warm_lambdas(),
+            kernel_stats=self.backend.stats.as_dict(),
         )
 
 

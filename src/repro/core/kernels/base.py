@@ -1,0 +1,250 @@
+"""The kernel-backend protocol: the GD hot loop as ~a dozen named kernels.
+
+Every per-iteration cost of the partitioner reduces to a small set of
+array kernels — the CSR mat-vec of the gradient, the axpy of the step
+update, the noise mix-in, the projection sweep's weighted dots and
+hyperplane updates, the breakpoint sweep of the exact 1-D projection,
+the compaction gather/scatter, and the masked argmax of the rounding
+repair.  :class:`KernelBackend` names each of them once, so swapping the
+arithmetic (fused passes, float32 staging, numba/GPU kernels, zero-copy
+shared memory) is a backend choice instead of a solver rewrite.
+
+Determinism contract
+--------------------
+*Within* a backend, outputs are bit-identical across the
+serial/thread/process/batched executors — every backend must preserve
+the per-kernel summation orders the executors rely on.  *Across*
+backends only the partition quality is bounded (edge locality within
+one point on the reference presets); float32 staging legitimately
+perturbs low-order bits.  :class:`~repro.core.kernels.NumpyBackend` is
+the reference: its methods are the verbatim inline expressions the
+solver used before the extraction, so it is additionally bit-identical
+to the pre-kernel-layer implementation.
+
+Observability
+-------------
+Every kernel call is timed (``time.perf_counter_ns``) into the
+backend's :class:`KernelStats`, which the solvers surface on
+:class:`~repro.core.gd.BisectionResult.kernel_stats` — per-kernel
+call/ns counters for free on every run.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["KernelBackend", "KernelStats", "kernel"]
+
+
+class KernelStats:
+    """Per-kernel call and nanosecond counters of one backend instance."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        #: kernel name -> ``[calls, total_ns]``.
+        self.counters: dict[str, list[int]] = {}
+
+    def record(self, name: str, ns: int) -> None:
+        entry = self.counters.get(name)
+        if entry is None:
+            self.counters[name] = [1, ns]
+        else:
+            entry[0] += 1
+            entry[1] += ns
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """``{kernel: {"calls": ..., "ns": ...}}``, sorted by kernel name."""
+        return {
+            name: {"calls": calls, "ns": ns}
+            for name, (calls, ns) in sorted(self.counters.items())
+        }
+
+    def total_ns(self) -> int:
+        return sum(ns for _, ns in self.counters.values())
+
+    def total_calls(self) -> int:
+        return sum(calls for calls, _ in self.counters.values())
+
+    def merge(self, other: "KernelStats | dict") -> None:
+        """Fold another stats object (or its ``as_dict`` form) into this one."""
+        if isinstance(other, KernelStats):
+            items = [(name, entry[0], entry[1]) for name, entry in other.counters.items()]
+        else:
+            items = [(name, entry["calls"], entry["ns"]) for name, entry in other.items()]
+        for name, calls, ns in items:
+            entry = self.counters.get(name)
+            if entry is None:
+                self.counters[name] = [calls, ns]
+            else:
+                entry[0] += calls
+                entry[1] += ns
+
+
+def kernel(method):
+    """Time a backend method into ``self.stats`` under the method's name."""
+    name = method.__name__
+
+    @functools.wraps(method)
+    def timed(self, *args, **kwargs):
+        start = time.perf_counter_ns()
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            self.stats.record(name, time.perf_counter_ns() - start)
+
+    return timed
+
+
+class KernelBackend(ABC):
+    """Abstract protocol of the solver's hot kernels.
+
+    Implementations must be cheap to construct — the solvers build one
+    instance per bisection/frontier so the stats are per-run — and must
+    never carry state across processes (workers construct their own).
+
+    ``fuses_iteration`` marks backends whose :meth:`fused_update`
+    replaces the stepper's separate step/projection kernels with one
+    fused pass over the compacted free set; the stepper switches to its
+    fused path when it is set.
+    """
+
+    #: Registry name of the backend (``GDConfig.kernel_backend`` value).
+    name: str = "abstract"
+    #: Whether the stepper should drive this backend through its fused
+    #: single-pass iteration instead of the kernel-by-kernel path.
+    fuses_iteration: bool = False
+
+    def __init__(self) -> None:
+        self.stats = KernelStats()
+
+    # ------------------------------------------------------------------ #
+    # Sparse mat-vec kernels
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def spmv(self, matrix, x: np.ndarray) -> np.ndarray:
+        """CSR mat-vec ``A @ x`` (the gradient of the relaxation)."""
+
+    @abstractmethod
+    def block_spmv(self, matrix, x: np.ndarray) -> np.ndarray:
+        """Block-diagonal CSR mat-vec over a stacked frontier iterate."""
+
+    @abstractmethod
+    def free_gradient(self, matrix, boundary: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Compacted gradient ``A_FF @ z + boundary`` over the free set."""
+
+    # ------------------------------------------------------------------ #
+    # Iterate-update kernels
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def axpy(self, a, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``y + a * x`` with scalar or per-element ``a`` (the GD step)."""
+
+    @abstractmethod
+    def mix_noise(self, x: np.ndarray, noise: np.ndarray,
+                  free: np.ndarray | None = None) -> np.ndarray:
+        """Noise mix-in: ``x + noise`` (``free=None``) or a copy of ``x``
+        with ``noise`` added on the free coordinates only."""
+
+    @abstractmethod
+    def masked_assign(self, target: np.ndarray, mask: np.ndarray,
+                      source: np.ndarray) -> None:
+        """``target[mask] = source[mask]`` in place (pin fixed vertices)."""
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def norm(self, v: np.ndarray) -> float:
+        """Euclidean norm of a 1-D vector."""
+
+    @abstractmethod
+    def step_norm(self, new: np.ndarray, old: np.ndarray) -> float:
+        """Realized step length ``||new - old||``."""
+
+    @abstractmethod
+    def weighted_dot(self, weights: np.ndarray, x: np.ndarray) -> float:
+        """Weighted sum ``⟨w, x⟩`` (projection-sweep reduction)."""
+
+    # ------------------------------------------------------------------ #
+    # Projection kernels
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def hyperplane_project(self, point: np.ndarray, weights: np.ndarray,
+                           target: float, norm_squared: float | None = None
+                           ) -> np.ndarray:
+        """Euclidean projection onto ``{x : ⟨w, x⟩ = target}``."""
+
+    @abstractmethod
+    def stacked_sweep_update(self, current: np.ndarray, coefficients: np.ndarray,
+                             sizes: np.ndarray, weight_row: np.ndarray,
+                             scratch: np.ndarray) -> None:
+        """Stacked hyperplane update of the batched one-shot sweep:
+        ``current -= repeat(coefficients, sizes) * weight_row`` in place."""
+
+    @abstractmethod
+    def clip_box(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Projection onto the cube: ``clip(x, -1, 1)``."""
+
+    @abstractmethod
+    def breakpoint_sweep(self, y: np.ndarray, weights: np.ndarray, target: float,
+                         *, total: float | None = None,
+                         weights_squared: np.ndarray | None = None) -> float:
+        """Exact 1-D projection multiplier: solve ``Σ w_i [y_i − λ w_i] =
+        target`` by the sorted-breakpoint prefix-sum sweep."""
+
+    # ------------------------------------------------------------------ #
+    # Compaction gather/scatter
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def gather(self, values: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """``values[index]`` for an id array or boolean mask."""
+
+    @abstractmethod
+    def scatter(self, target: np.ndarray, index: np.ndarray,
+                values: np.ndarray) -> None:
+        """``target[index] = values`` in place."""
+
+    # ------------------------------------------------------------------ #
+    # Vertex fixing and rounding
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def fixing_mask(self, x: np.ndarray, threshold: float) -> np.ndarray:
+        """Near-integral mask ``|x| >= threshold``."""
+
+    @abstractmethod
+    def snap(self, v: np.ndarray) -> np.ndarray:
+        """Snap to sides: ``+1`` where ``v >= 0``, else ``-1``."""
+
+    @abstractmethod
+    def masked_argmax(self, scores: np.ndarray, candidates: np.ndarray):
+        """The candidate id with the largest score (rounding repair's
+        pick among the near-best balance moves)."""
+
+    # ------------------------------------------------------------------ #
+    # Fused iteration (optional fast path)
+    # ------------------------------------------------------------------ #
+    def fused_update(self, z: np.ndarray, gamma: float, gradient: np.ndarray,
+                     weight_rows: np.ndarray, centers: np.ndarray,
+                     norms_squared: np.ndarray) -> np.ndarray:
+        """One gradient-step + one-shot-projection pass over the free set.
+
+        Semantically ``clip_box(sweep(z + gamma * gradient))`` where the
+        sweep projects onto each balance dimension's band-center
+        hyperplane in turn (``weight_rows`` is the ``(d, free)`` restricted
+        weight matrix, ``centers``/``norms_squared`` its per-dimension
+        invariants).  The base implementation composes the primitive
+        kernels; fused backends override it with a single in-place pass.
+        """
+        y = self.axpy(gamma, gradient, z)
+        for j in range(weight_rows.shape[0]):
+            norm_squared = float(norms_squared[j])
+            if norm_squared == 0.0:
+                continue
+            y = self.hyperplane_project(y, weight_rows[j], float(centers[j]),
+                                        norm_squared)
+        return self.clip_box(y)

@@ -1,0 +1,134 @@
+"""The reference backend: today's inline numpy expressions, verbatim.
+
+Every method body is the exact expression the solver used inline before
+the kernel layer existed — same operations, same order, same dtypes —
+so routing through this backend is bit-transparent: outputs are
+identical to the pre-extraction implementation down to the last bit
+(asserted by the worktree-comparison check and the executor-matrix
+tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..projection.exact_1d import solve_lambda_1d
+from ..projection.halfspace import project_onto_hyperplane
+from .base import KernelBackend, kernel
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Plain-numpy kernels, bit-identical to the historical inline code."""
+
+    name = "numpy"
+    fuses_iteration = False
+
+    # ------------------------------------------------------------------ #
+    # Sparse mat-vec kernels
+    # ------------------------------------------------------------------ #
+    @kernel
+    def spmv(self, matrix, x: np.ndarray) -> np.ndarray:
+        return matrix @ x
+
+    @kernel
+    def block_spmv(self, matrix, x: np.ndarray) -> np.ndarray:
+        return matrix @ x
+
+    @kernel
+    def free_gradient(self, matrix, boundary: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return matrix @ z + boundary
+
+    # ------------------------------------------------------------------ #
+    # Iterate-update kernels
+    # ------------------------------------------------------------------ #
+    @kernel
+    def axpy(self, a, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y + a * x
+
+    @kernel
+    def mix_noise(self, x: np.ndarray, noise: np.ndarray,
+                  free: np.ndarray | None = None) -> np.ndarray:
+        if free is None:
+            return x + noise
+        z = x.copy()
+        z[free] += noise[free]
+        return z
+
+    @kernel
+    def masked_assign(self, target: np.ndarray, mask: np.ndarray,
+                      source: np.ndarray) -> None:
+        target[mask] = source[mask]
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    @kernel
+    def norm(self, v: np.ndarray) -> float:
+        return float(np.linalg.norm(v))
+
+    @kernel
+    def step_norm(self, new: np.ndarray, old: np.ndarray) -> float:
+        # np.linalg.norm of a 1-D float64 vector is sqrt(v @ v) bit for
+        # bit, so one kernel serves both historical spellings.
+        delta = new - old
+        return float(np.sqrt(delta @ delta))
+
+    @kernel
+    def weighted_dot(self, weights: np.ndarray, x: np.ndarray) -> float:
+        return float(weights @ x)
+
+    # ------------------------------------------------------------------ #
+    # Projection kernels
+    # ------------------------------------------------------------------ #
+    @kernel
+    def hyperplane_project(self, point: np.ndarray, weights: np.ndarray,
+                           target: float, norm_squared: float | None = None
+                           ) -> np.ndarray:
+        return project_onto_hyperplane(point, weights, target, norm_squared)
+
+    @kernel
+    def stacked_sweep_update(self, current: np.ndarray, coefficients: np.ndarray,
+                             sizes: np.ndarray, weight_row: np.ndarray,
+                             scratch: np.ndarray) -> None:
+        np.multiply(np.repeat(coefficients, sizes), weight_row, out=scratch)
+        np.subtract(current, scratch, out=current)
+
+    @kernel
+    def clip_box(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return np.clip(x, -1.0, 1.0, out=out)
+
+    @kernel
+    def breakpoint_sweep(self, y: np.ndarray, weights: np.ndarray, target: float,
+                         *, total: float | None = None,
+                         weights_squared: np.ndarray | None = None) -> float:
+        return solve_lambda_1d(y, weights, target, total=total,
+                               weights_squared=weights_squared)
+
+    # ------------------------------------------------------------------ #
+    # Compaction gather/scatter
+    # ------------------------------------------------------------------ #
+    @kernel
+    def gather(self, values: np.ndarray, index: np.ndarray) -> np.ndarray:
+        return values[index]
+
+    @kernel
+    def scatter(self, target: np.ndarray, index: np.ndarray,
+                values: np.ndarray) -> None:
+        target[index] = values
+
+    # ------------------------------------------------------------------ #
+    # Vertex fixing and rounding
+    # ------------------------------------------------------------------ #
+    @kernel
+    def fixing_mask(self, x: np.ndarray, threshold: float) -> np.ndarray:
+        return np.abs(x) >= threshold
+
+    @kernel
+    def snap(self, v: np.ndarray) -> np.ndarray:
+        return np.where(v >= 0.0, 1.0, -1.0)
+
+    @kernel
+    def masked_argmax(self, scores: np.ndarray, candidates: np.ndarray):
+        return candidates[np.argmax(scores[candidates])]

@@ -57,6 +57,8 @@ enabled: pool workers run this driver unchanged, and the batched backend
 routes multilevel-sized tasks through it per task (subproblems at or
 below ``coarsest_size`` — where the V-cycle is a no-op — keep the
 lock-step stacked path; see :meth:`BatchedFrontierSolver.solve`).
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations

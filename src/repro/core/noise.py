@@ -4,6 +4,8 @@ The relaxed objective ``½ xᵀAx`` has a saddle point at the origin — exactly
 where the algorithm starts — so without noise the gradient is zero and no
 progress is made.  The paper observes (§3.2) that for real graphs adding
 noise only at the first iteration suffices, which is the default here.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations

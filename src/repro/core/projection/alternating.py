@@ -38,7 +38,8 @@ class AlternatingProjector(Projector):
 
     def __init__(self, region: FeasibleRegion, one_shot: bool = True,
                  use_band_center: bool = True, max_rounds: int = 1000,
-                 tolerance: float = 1e-9, cache: RegionCache | None = None):
+                 tolerance: float = 1e-9, cache: RegionCache | None = None,
+                 backend=None):
         super().__init__(region)
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
@@ -51,6 +52,9 @@ class AlternatingProjector(Projector):
         self._max_rounds = max_rounds
         self._tolerance = tolerance
         self._cache = cache
+        # Optional KernelBackend: routes the hyperplane projection and box
+        # clip through counted kernels (same functions, same bits).
+        self._backend = backend
 
     @property
     def one_shot(self) -> bool:
@@ -66,6 +70,7 @@ class AlternatingProjector(Projector):
 
     def _sweep(self, x: np.ndarray) -> np.ndarray:
         region = self.region
+        backend = self._backend
         for j in range(region.num_dimensions):
             weights = region.weights[j]
             if self._use_band_center:
@@ -73,10 +78,17 @@ class AlternatingProjector(Projector):
                 # the inline scalar expression, so both paths agree bitwise.
                 center = (self._cache.centers[j] if self._cache is not None
                           else 0.5 * (region.lower[j] + region.upper[j]))
-                x = project_onto_hyperplane(x, weights, center, self._norm_squared(j))
+                if backend is not None:
+                    x = backend.hyperplane_project(x, weights, center,
+                                                   self._norm_squared(j))
+                else:
+                    x = project_onto_hyperplane(x, weights, center,
+                                                self._norm_squared(j))
             else:
                 x = project_onto_band(x, weights, region.lower[j], region.upper[j],
                                       self._norm_squared(j))
+        if backend is not None:
+            return backend.clip_box(x)
         return project_onto_box(x)
 
     def project(self, point: np.ndarray) -> np.ndarray:

@@ -90,7 +90,7 @@ class _RegionState:
     """Cache + projector + warm-start state for one concrete region."""
 
     def __init__(self, method: str, region: FeasibleRegion, use_cache: bool,
-                 prebuilt_cache: RegionCache | None = None):
+                 prebuilt_cache: RegionCache | None = None, backend=None):
         self.region = region
         if prebuilt_cache is not None and use_cache:
             if prebuilt_cache.region is not region:
@@ -98,20 +98,22 @@ class _RegionState:
             self.cache = prebuilt_cache
         else:
             self.cache = RegionCache(region) if use_cache else None
-        self.projector = _build_projector(method, region, self.cache)
+        self.projector = _build_projector(method, region, self.cache, backend)
         # Warm-start state (only populated when the cache is enabled).
         self.warm_lambdas: dict[int, float] | None = None
         self.corrections: list[np.ndarray] | None = None
 
 
 def _build_projector(method: str, region: FeasibleRegion,
-                     cache: RegionCache | None) -> Projector:
+                     cache: RegionCache | None, backend=None) -> Projector:
     if method == "exact":
-        return ExactProjector(region, cache=cache)
+        return ExactProjector(region, cache=cache, backend=backend)
     if method == "alternating":
-        return AlternatingProjector(region, one_shot=False, cache=cache)
+        return AlternatingProjector(region, one_shot=False, cache=cache,
+                                    backend=backend)
     if method == "alternating_oneshot":
-        return AlternatingProjector(region, one_shot=True, cache=cache)
+        return AlternatingProjector(region, one_shot=True, cache=cache,
+                                    backend=backend)
     if method == "dykstra":
         return DykstraProjector(region, cache=cache)
     raise ValueError(f"unknown projection method {method!r}")
@@ -139,15 +141,21 @@ class ProjectionEngine:
         :class:`~repro.core.projection.cache.FrontierCache` pass and hands
         them to the per-block engines instead of having each engine rebuild
         them.  Ignored when ``cache`` is False.
+    backend:
+        Optional :class:`~repro.core.kernels.KernelBackend` the projectors
+        route their numeric kernels (hyperplane projections, box clips,
+        breakpoint sweeps) through.  ``None`` keeps the historical direct
+        calls — same arithmetic, no per-kernel counters.
     """
 
     def __init__(self, method: str, region: FeasibleRegion, *, cache: bool = True,
-                 region_cache: RegionCache | None = None):
+                 region_cache: RegionCache | None = None, backend=None):
         self._method = method
         self._cache_enabled = bool(cache)
+        self._backend = backend
         self._stats = ProjectionStats()
         self._full = _RegionState(method, region, self._cache_enabled,
-                                  prebuilt_cache=region_cache)
+                                  prebuilt_cache=region_cache, backend=backend)
         self._restricted: _RegionState | None = None
         self._restricted_free: np.ndarray | None = None
         self._restricted_fixed: np.ndarray | None = None
@@ -168,6 +176,16 @@ class ProjectionEngine:
     @property
     def stats(self) -> ProjectionStats:
         return self._stats
+
+    def count_external_projection(self) -> None:
+        """Record a projection performed *outside* the engine.
+
+        The fused iteration kernel (``GDConfig.kernel_backend="fused"``)
+        folds the one-shot projection sweep into its single pass and never
+        enters :meth:`project`; it calls this per iteration so
+        :attr:`stats` stays meaningful across backends.
+        """
+        self._stats.calls += 1
 
     def reset(self) -> None:
         """Drop all warm-start state (the caches themselves stay valid)."""
@@ -219,7 +237,7 @@ class ProjectionEngine:
         fixed_values = np.asarray(fixed_values, dtype=np.float64)
         if not self._cache_enabled:
             state = _RegionState(self._method, self.region.restrict(free, fixed_values),
-                                 use_cache=False)
+                                 use_cache=False, backend=self._backend)
             return self._project_with(state, point)
 
         if (self._restricted is None
@@ -268,7 +286,8 @@ class ProjectionEngine:
         narrowed = FeasibleRegion(weights=region.weights[:, surviving],
                                   lower=region.lower - newly_contribution,
                                   upper=region.upper - newly_contribution)
-        state = _RegionState(self._method, narrowed, use_cache=True)
+        state = _RegionState(self._method, narrowed, use_cache=True,
+                             backend=self._backend)
         state.warm_lambdas = previous.warm_lambdas
         if previous.corrections is not None:
             state.corrections = [c[surviving] for c in previous.corrections]
@@ -292,7 +311,7 @@ class ProjectionEngine:
         previous = self._restricted
         previous_free = self._restricted_free
         state = _RegionState(self._method, self.region.restrict(free, fixed_values),
-                             use_cache=True)
+                             use_cache=True, backend=self._backend)
         if previous is None:
             # First restriction of this engine: the full region's
             # multipliers (possibly seeded from a coarser level) are the
@@ -380,9 +399,10 @@ class BatchedProjectionEngine:
     """
 
     def __init__(self, method: str, regions: Sequence[FeasibleRegion], *,
-                 cache: bool = True):
+                 cache: bool = True, backend=None):
         self._method = method
         self._cache_enabled = bool(cache)
+        self._backend = backend
         self._frontier = FrontierCache(regions)
         # Per-block engines serve every method except the vectorized
         # one-shot sweep; for the sweep they would sit unused, so they are
@@ -425,7 +445,8 @@ class BatchedProjectionEngine:
         if self._engine_list is None:
             self._engine_list = [
                 ProjectionEngine(self._method, region, cache=self._cache_enabled,
-                                 region_cache=cache if self._cache_enabled else None)
+                                 region_cache=cache if self._cache_enabled else None,
+                                 backend=self._backend)
                 for region, cache in zip(self._frontier.regions,
                                          self._frontier.caches)
             ]
@@ -619,6 +640,7 @@ class BatchedProjectionEngine:
         num_blocks = len(frontier.regions)
         sizes = self._segment_sizes
         scratch = self._scratch
+        backend = self._backend
         for j in range(frontier.num_dimensions):
             weight_row = self._w_free[j]
             coefficients = np.zeros(num_blocks)
@@ -630,14 +652,24 @@ class BatchedProjectionEngine:
                 norm_squared = self._sweep_norms[block][j]
                 if norm_squared == 0.0:
                     continue
-                value = float(self._sweep_dot_rows[block][j] @ current[span])
+                row = self._sweep_dot_rows[block][j]
+                value = (backend.weighted_dot(row, current[span])
+                         if backend is not None
+                         else float(row @ current[span]))
                 coefficients[block] = ((value - self._sweep_centers[block][j])
                                        / norm_squared)
             # current -= coeff_per_vertex * weights, elementwise in place —
             # the same ``point - offset * weights`` as the scalar sweep.
-            np.multiply(np.repeat(coefficients, sizes), weight_row, out=scratch)
-            np.subtract(current, scratch, out=current)
-        np.clip(current, -1.0, 1.0, out=current)
+            if backend is not None:
+                backend.stacked_sweep_update(current, coefficients, sizes,
+                                             weight_row, scratch)
+            else:
+                np.multiply(np.repeat(coefficients, sizes), weight_row, out=scratch)
+                np.subtract(current, scratch, out=current)
+        if backend is not None:
+            backend.clip_box(current, out=current)
+        else:
+            np.clip(current, -1.0, 1.0, out=current)
 
         if all_unrestricted and len(blocks) == num_blocks:
             # Every coordinate was swept: the result is the buffer itself

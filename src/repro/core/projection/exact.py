@@ -64,7 +64,8 @@ class ExactProjector(Projector):
 
     def __init__(self, region: FeasibleRegion, tolerance: float = 1e-9,
                  cache: RegionCache | None = None,
-                 max_active_set_iterations: int | None = None):
+                 max_active_set_iterations: int | None = None,
+                 backend=None):
         super().__init__(region)
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
@@ -75,6 +76,9 @@ class ExactProjector(Projector):
         self._tolerance = tolerance
         self._cache = cache
         self._max_iterations = max_active_set_iterations
+        # Optional KernelBackend: routes the d=1 breakpoint sweep through a
+        # counted kernel (same function, same bits).
+        self._backend = backend
         #: Number of calls that exhausted the active-set budget and fell back
         #: to convergent alternating projections.
         self.fallback_count = 0
@@ -241,7 +245,9 @@ class ExactProjector(Projector):
 
         if len(dims) == 1:
             dim_cache = self._cache.dimensions[dims[0]] if self._cache is not None else None
-            lambdas = np.array([solve_lambda_1d(
+            sweep = (self._backend.breakpoint_sweep if self._backend is not None
+                     else solve_lambda_1d)
+            lambdas = np.array([sweep(
                 point, weights[0], targets[0],
                 total=dim_cache.total if dim_cache is not None else None,
                 weights_squared=(dim_cache.weights_squared

@@ -7,6 +7,8 @@ constant, the relaxation maximizes ``f(x) = ½ xᵀAx`` over the convex body
 
 The only operations the optimizer needs are ``f`` and ``∇f = Ax``, both of
 which reduce to sparse matrix--vector products.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ approximately satisfied with high probability.  Because "approximately" can
 still exceed the user's ``ε`` on small graphs, an optional greedy repair
 pass moves the cheapest vertices between parts until every dimension is
 within tolerance.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations
@@ -57,7 +59,8 @@ def _normalized_violation(sums: np.ndarray, slack: np.ndarray, totals: np.ndarra
 def balance_repair(graph: Graph, sides: np.ndarray, weights: np.ndarray,
                    epsilon: float, center: np.ndarray | None = None,
                    max_moves: int | None = None,
-                   movable: np.ndarray | None = None) -> np.ndarray:
+                   movable: np.ndarray | None = None,
+                   backend=None) -> np.ndarray:
     """Greedily flip vertices until every dimension satisfies ε-balance.
 
     The balance constraint is ``|⟨w^(j), sides⟩ − center_j| ≤ ε Σ_i w^(j)_i``
@@ -120,7 +123,8 @@ def balance_repair(graph: Graph, sides: np.ndarray, weights: np.ndarray,
 
         # Among the (near-)best balance improvements pick the cheapest cut-wise.
         near_best = candidates[new_violation <= best_violation + 1e-12]
-        best = near_best[np.argmax(gains[near_best])]
+        best = (backend.masked_argmax(gains, near_best) if backend is not None
+                else near_best[np.argmax(gains[near_best])])
 
         # Flip the vertex, then refresh the weighted sums and the gains of
         # the flipped vertex and its neighbors (only they are affected).

@@ -9,6 +9,8 @@ Because the projection can absorb an arbitrary fraction of the raw gradient
 step, a fixed gradient multiplier does not give a fixed realized step.  The
 adaptive controller rescales the multiplier after every iteration based on
 the realized progress.
+
+Internal module: not part of the stable public API (see ``repro.__all__``); its contents may change between releases.
 """
 
 from __future__ import annotations

@@ -33,18 +33,18 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, iterations: int = 100,
         weights = standard_weights(graph, 2)
         series: dict[str, list[float]] = {}
         for exact_epsilon in EXACT_EPSILONS:
-            config = GDConfig(iterations=iterations, projection="exact",
+            config = GDConfig(iterations=iterations, projection_method="exact",
                               projection_epsilon=exact_epsilon,
                               record_history=True, seed=seed)
             result = gd_bisect(graph, weights, epsilon, config)
             series[f"exact eps={exact_epsilon:g}"] = [
                 r.edge_locality_pct for r in result.history]
-        alternating = GDConfig(iterations=iterations, projection="alternating_oneshot",
+        alternating = GDConfig(iterations=iterations, projection_method="alternating_oneshot",
                                record_history=True, seed=seed)
         result = gd_bisect(graph, weights, epsilon, alternating)
         series["alternating"] = [r.edge_locality_pct for r in result.history]
         if include_dykstra:
-            dykstra = GDConfig(iterations=iterations, projection="dykstra",
+            dykstra = GDConfig(iterations=iterations, projection_method="dykstra",
                                record_history=True, seed=seed)
             result = gd_bisect(graph, weights, epsilon, dykstra)
             series["dykstra"] = [r.edge_locality_pct for r in result.history]

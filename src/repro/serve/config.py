@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..core.config import ConfigIO, install_rename_shims
+
 __all__ = ["ServeConfig"]
 
 
 @dataclass(frozen=True)
-class ServeConfig:
+class ServeConfig(ConfigIO):
     """Parameters of :class:`~repro.serve.PartitionService` and its TCP
     front end.
 
@@ -34,9 +36,11 @@ class ServeConfig:
         ingested (the standard unit+degree stack uses row 1).  ``None``
         disables the sync — required when the service is run with weight
         stacks whose dimensions are not degrees.
-    shutdown_drain_seconds:
+    drain_seconds:
         How long a graceful shutdown waits for the repair worker to
-        drain pending churn batches before abandoning them.
+        drain pending churn batches before abandoning them.  (Renamed
+        from ``shutdown_drain_seconds``, which keeps working with a
+        :class:`DeprecationWarning`.)
     """
 
     host: str = "127.0.0.1"
@@ -45,7 +49,9 @@ class ServeConfig:
     max_queue: int = 64
     lookup_chunk: int = 65536
     degree_weight_dimension: int | None = 1
-    shutdown_drain_seconds: float = 30.0
+    drain_seconds: float = 30.0
+
+    _RENAMED_FIELDS = {"shutdown_drain_seconds": "drain_seconds"}
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -59,9 +65,12 @@ class ServeConfig:
         if (self.degree_weight_dimension is not None
                 and self.degree_weight_dimension < 0):
             raise ValueError("degree_weight_dimension must be non-negative")
-        if self.shutdown_drain_seconds < 0:
-            raise ValueError("shutdown_drain_seconds must be non-negative")
+        if self.drain_seconds < 0:
+            raise ValueError("drain_seconds must be non-negative")
 
     def with_updates(self, **changes) -> "ServeConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+
+install_rename_shims(ServeConfig, {"shutdown_drain_seconds": "drain_seconds"})

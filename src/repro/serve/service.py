@@ -295,7 +295,7 @@ class PartitionService:
         try:
             await asyncio.wait_for(
                 asyncio.shield(self._worker),
-                timeout=self.serve_config.shutdown_drain_seconds or None)
+                timeout=self.serve_config.drain_seconds or None)
         except asyncio.TimeoutError:
             dropped = self._queue.qsize()
             logger.warning("shutdown drain timed out; abandoning %d pending "

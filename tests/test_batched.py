@@ -314,7 +314,7 @@ class TestBatchedFrontierSolver:
     def test_matches_serial_for_every_projection_method(self, social_graph,
                                                         social_weights, projection):
         tasks = _frontier_tasks(social_graph, social_weights, 4,
-                                projection=projection)
+                                projection_method=projection)
         batched = BatchedFrontierSolver(tasks).solve()
         for expected, actual in zip(_serial_assignments(tasks), batched):
             np.testing.assert_array_equal(expected, actual)
@@ -355,8 +355,13 @@ class TestBatchedFrontierSolver:
         batched = solver.solve()
         for expected, actual in zip(_serial_assignments(tasks), batched):
             np.testing.assert_array_equal(expected, actual)
-        assert solver.stats.dropped_early == len(tasks)
-        assert solver.stats.iterations_run < 60
+        if tasks[0].config.kernel_backend == "numpy":
+            assert solver.stats.dropped_early == len(tasks)
+            assert solver.stats.iterations_run < 60
+        else:
+            # Non-reference kernel backends solo-route every task (the
+            # stacked loop is numpy-only), so nothing runs in lock-step.
+            assert solver.stats.solo_tasks == len(tasks)
 
     def test_rejects_mismatched_configs(self, social_graph, social_weights):
         tasks = _frontier_tasks(social_graph, social_weights, 2)

@@ -68,11 +68,11 @@ class TestParser:
 
     def test_projection_flags(self):
         args = build_parser().parse_args(["partition", "g.txt"])
-        assert args.projection == "alternating_oneshot"
+        assert args.projection_method == "alternating_oneshot"
         assert args.projection_cache is True
         args = build_parser().parse_args(
             ["partition", "g.txt", "--projection", "exact", "--no-projection-cache"])
-        assert args.projection == "exact"
+        assert args.projection_method == "exact"
         assert args.projection_cache is False
 
     def test_rejects_unknown_projection(self):

@@ -16,7 +16,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import BisectionExecutor, GDConfig, GDPartitioner, recursive_bisection, task_seed
+from repro.core import (
+    KERNEL_BACKENDS,
+    BisectionExecutor,
+    GDConfig,
+    GDPartitioner,
+    recursive_bisection,
+    task_seed,
+)
 from repro.graphs import Graph, fb_like, standard_weights
 from repro.partition import imbalance
 
@@ -161,6 +168,37 @@ def test_batched_matches_serial_for_any_seed(seed, num_parts):
     batched = recursive_bisection(graph, weights, num_parts, 0.05, config,
                                   parallelism="batched")
     assert np.array_equal(serial.assignment, batched.assignment)
+
+
+@pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
+def test_kernel_backends_bit_identical_across_executors(social_graph, social_weights,
+                                                        kernel_backend):
+    """Within a kernel backend, every executor returns the same bits.
+
+    The cross-executor determinism contract holds per kernel backend:
+    the fused and float32-staged backends may differ from the numpy
+    reference (different summation orders / precision), but each of them
+    must itself be bit-stable across serial, thread and batched runs.
+    """
+    config = GDConfig(iterations=12, seed=17, kernel_backend=kernel_backend)
+    reference = recursive_bisection(social_graph, social_weights, 4, 0.05, config,
+                                    parallelism="serial")
+    for parallelism in ("thread", "batched"):
+        partition = recursive_bisection(social_graph, social_weights, 4, 0.05, config,
+                                        parallelism=parallelism, max_workers=2)
+        assert np.array_equal(partition.assignment, reference.assignment), \
+            (kernel_backend, parallelism)
+
+
+@pytest.mark.parametrize("kernel_backend", ["fused", "fused32"])
+def test_kernel_backend_survives_process_pool(social_graph, social_weights, kernel_backend):
+    """Backends are constructed per worker, so the process pool (pickled
+    configs, no shared backend state) must reproduce the serial bits."""
+    config = GDConfig(iterations=10, seed=23, kernel_backend=kernel_backend)
+    serial = recursive_bisection(social_graph, social_weights, 4, 0.05, config)
+    pooled = recursive_bisection(social_graph, social_weights, 4, 0.05, config,
+                                 parallelism="process", max_workers=2)
+    assert np.array_equal(serial.assignment, pooled.assignment)
 
 
 def test_config_knobs_equal_keyword_overrides(social_graph, social_weights):

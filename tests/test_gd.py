@@ -106,7 +106,7 @@ class TestConfigurations:
                                             "dykstra"])
     def test_all_projection_methods_balanced(self, social_graph, social_weights, projection):
         result = gd_bisect(social_graph, social_weights, 0.05,
-                           _config(iterations=30, projection=projection))
+                           _config(iterations=30, projection_method=projection))
         assert is_epsilon_balanced(result.partition, social_weights, epsilon=0.06)
 
     def test_vertex_fixing_freezes_vertices(self, social_graph, social_weights):
@@ -128,7 +128,7 @@ class TestConfigurations:
 
     def test_projection_epsilon_override(self, social_graph, social_weights):
         result = gd_bisect(social_graph, social_weights, 0.05,
-                           _config(iterations=30, projection="exact",
+                           _config(iterations=30, projection_method="exact",
                                    projection_epsilon=0.2))
         # The final result is still repaired to the requested epsilon.
         assert is_epsilon_balanced(result.partition, social_weights, epsilon=0.06)

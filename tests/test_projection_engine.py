@@ -242,10 +242,10 @@ class TestGDDeterminism:
         graph = livejournal_like(scale=0.25, seed=0)
         weights = standard_weights(graph, 2)
         on = gd_bisect(graph, weights, 0.05,
-                       GDConfig(iterations=25, seed=0, projection=method,
+                       GDConfig(iterations=25, seed=0, projection_method=method,
                                 projection_cache=True))
         off = gd_bisect(graph, weights, 0.05,
-                        GDConfig(iterations=25, seed=0, projection=method,
+                        GDConfig(iterations=25, seed=0, projection_method=method,
                                  projection_cache=False))
         assert np.array_equal(on.partition.assignment, off.partition.assignment)
         assert np.array_equal(on.fractional, off.fractional)
@@ -254,7 +254,7 @@ class TestGDDeterminism:
         graph = livejournal_like(scale=0.1, seed=0)
         weights = standard_weights(graph, 2)
         result = gd_bisect(graph, weights, 0.05,
-                           GDConfig(iterations=10, seed=0, projection="exact"))
+                           GDConfig(iterations=10, seed=0, projection_method="exact"))
         stats = result.projection_stats
         assert stats is not None
         assert stats.calls == 10

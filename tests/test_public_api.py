@@ -1,0 +1,168 @@
+"""Tests of the curated public surface and the shared config conventions.
+
+Covers: every name in ``repro.__all__`` resolves; the one-call
+``partition_graph`` / ``evaluate`` veneer; the ``to_dict`` / ``from_dict``
+/ ``from_args`` round-trip shared by :class:`GDConfig` and
+:class:`ServeConfig`; and the deprecation shims (renamed fields and moved
+top-level entry points keep working with a :class:`DeprecationWarning`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import GDConfig
+from repro.serve import ServeConfig
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_all_is_sorted_sanely(self):
+        # No duplicates, and everything importable with a star import.
+        assert len(repro.__all__) == len(set(repro.__all__))
+        namespace = {}
+        exec("from repro import *", namespace)
+        missing = [n for n in repro.__all__ if n not in namespace]
+        assert not missing
+
+    def test_version_is_exported(self):
+        assert repro.__version__
+        assert "__version__" in repro.__all__
+
+    def test_partition_graph_and_evaluate(self, two_cliques_graph):
+        partition = repro.partition_graph(
+            two_cliques_graph, 2, epsilon=0.1,
+            config=GDConfig(iterations=30, seed=3))
+        assert partition.num_parts == 2
+        report = repro.evaluate(partition)
+        assert set(report) == {"num_parts", "edge_locality_pct", "imbalance_pct"}
+        assert report["num_parts"] == 2
+        assert 0.0 <= report["edge_locality_pct"] <= 100.0
+        assert len(report["imbalance_pct"]) == 2
+        json.dumps(report)  # JSON-friendly by contract
+
+    def test_partition_graph_custom_weights(self, two_cliques_graph):
+        weights = np.ones((1, two_cliques_graph.num_vertices))
+        partition = repro.partition_graph(
+            two_cliques_graph, 2, weights=weights, epsilon=0.1,
+            config=GDConfig(iterations=30, seed=3))
+        report = repro.evaluate(partition, weights)
+        assert len(report["imbalance_pct"]) == 1
+
+
+class TestDeprecatedAliases:
+    def test_top_level_gd_bisect_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.gd_bisect is deprecated"):
+            fn = repro.gd_bisect
+        assert fn is repro.core.gd_bisect
+
+    def test_top_level_recursive_bisection_warns(self):
+        with pytest.warns(DeprecationWarning, match="recursive_bisection"):
+            fn = repro.recursive_bisection
+        assert fn is repro.core.recursive_bisection
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+            repro.nonsense
+
+    def test_deprecated_names_left_out_of_all(self):
+        assert "gd_bisect" not in repro.__all__
+        assert "recursive_bisection" not in repro.__all__
+
+
+class TestRenameShims:
+    def test_gdconfig_old_keyword_remaps(self):
+        with pytest.warns(DeprecationWarning, match="'projection' was renamed"):
+            config = GDConfig(projection="exact")
+        assert config.projection_method == "exact"
+
+    def test_gdconfig_old_attribute_forwards(self):
+        config = GDConfig(projection_method="dykstra")
+        with pytest.warns(DeprecationWarning, match="renamed to projection_method"):
+            assert config.projection == "dykstra"
+
+    def test_gdconfig_both_names_is_error(self):
+        with pytest.raises(TypeError, match="both 'projection'"):
+            GDConfig(projection="exact", projection_method="exact")
+
+    def test_gdconfig_with_updates_accepts_old_name(self):
+        with pytest.warns(DeprecationWarning):
+            config = GDConfig().with_updates(projection="exact")
+        assert config.projection_method == "exact"
+
+    def test_serveconfig_old_keyword_remaps(self):
+        with pytest.warns(DeprecationWarning, match="shutdown_drain_seconds"):
+            config = ServeConfig(shutdown_drain_seconds=5.0)
+        assert config.drain_seconds == 5.0
+
+    def test_serveconfig_old_attribute_forwards(self):
+        config = ServeConfig(drain_seconds=2.5)
+        with pytest.warns(DeprecationWarning):
+            assert config.shutdown_drain_seconds == 2.5
+
+
+class TestConfigRoundTrip:
+    def test_gdconfig_dict_round_trip(self):
+        config = GDConfig(iterations=42, projection_method="exact", seed=9,
+                          kernel_backend="fused", compaction=True)
+        restored = GDConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_gdconfig_to_dict_is_json_serializable(self):
+        as_json = json.dumps(GDConfig().to_dict())
+        assert GDConfig.from_dict(json.loads(as_json)) == GDConfig()
+
+    def test_serveconfig_dict_round_trip(self):
+        config = ServeConfig(port=0, epsilon=0.2, drain_seconds=1.0)
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown GDConfig fields: iteration"):
+            GDConfig.from_dict({"iteration": 5})
+
+    def test_from_dict_accepts_renamed_field_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="'projection' was renamed"):
+            config = GDConfig.from_dict({"projection": "exact", "seed": 4})
+        assert config.projection_method == "exact"
+        assert config.seed == 4
+        with pytest.warns(DeprecationWarning, match="shutdown_drain_seconds"):
+            serve = ServeConfig.from_dict({"shutdown_drain_seconds": 3.0})
+        assert serve.drain_seconds == 3.0
+
+    def test_from_args_takes_matching_dests(self):
+        namespace = argparse.Namespace(
+            iterations=7, seed=2, kernel_backend="fused",
+            projection_method="alternating_oneshot",
+            dataset="fb-80", output=None)  # non-field entries ignored
+        config = GDConfig.from_args(namespace)
+        assert (config.iterations, config.seed, config.kernel_backend) == (7, 2, "fused")
+
+    def test_from_args_skips_none_and_applies_aliases(self):
+        namespace = argparse.Namespace(
+            iterations=None, workers=3, hops=4, damage_threshold=0.5,
+            repair_iterations=6)
+        config = GDConfig.from_args(namespace)
+        assert config.iterations == GDConfig().iterations  # None → default
+        assert config.max_workers == 3
+        assert config.repartition_hops == 4
+        assert config.repartition_damage_threshold == 0.5
+        assert config.repartition_iterations == 6
+
+    def test_from_args_overrides_win(self):
+        namespace = argparse.Namespace(iterations=7, seed=2)
+        config = GDConfig.from_args(namespace, seed=11)
+        assert (config.iterations, config.seed) == (7, 11)
+
+    def test_serveconfig_from_args(self):
+        namespace = argparse.Namespace(host="0.0.0.0", port=0, epsilon=0.1,
+                                       verbose=True)
+        config = ServeConfig.from_args(namespace)
+        assert (config.host, config.port, config.epsilon) == ("0.0.0.0", 0, 0.1)

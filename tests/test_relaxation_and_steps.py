@@ -112,12 +112,12 @@ class TestGDConfig:
     def test_defaults_valid(self):
         config = GDConfig()
         assert config.iterations == 100
-        assert config.projection == "alternating_oneshot"
+        assert config.projection_method == "alternating_oneshot"
 
     def test_with_updates(self):
-        config = GDConfig().with_updates(iterations=10, projection="exact")
+        config = GDConfig().with_updates(iterations=10, projection_method="exact")
         assert config.iterations == 10
-        assert config.projection == "exact"
+        assert config.projection_method == "exact"
 
     def test_invalid_iterations(self):
         with pytest.raises(ValueError):
@@ -125,7 +125,7 @@ class TestGDConfig:
 
     def test_invalid_projection(self):
         with pytest.raises(ValueError):
-            GDConfig(projection="magic")
+            GDConfig(projection_method="magic")
 
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
