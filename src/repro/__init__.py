@@ -18,7 +18,11 @@ arXiv:1902.03522, 2019).  The package contains:
   and run metrics (``repro store`` on the CLI);
 * :mod:`repro.serve` — the partition-serving service: lookups and k-way
   routing over an atomically-swapped assignment while churn is repaired
-  in the background (``repro serve`` on the CLI);
+  in the background by a supervised, self-healing worker (``repro
+  serve`` on the CLI);
+* :mod:`repro.faults` — deterministic, seeded fault injection (the
+  chaos lane and the resilience tests arm a :class:`~repro.FaultPlan`;
+  disarmed sites cost one pointer check);
 * :mod:`repro.experiments` — one runner per table / figure of the paper.
 
 Quickstart::
@@ -47,6 +51,7 @@ from . import (
     distributed,
     dynamic,
     experiments,
+    faults,
     graphs,
     partition,
     serve,
@@ -54,9 +59,10 @@ from . import (
 )
 from .api import evaluate, partition_graph
 from .core import GDConfig, GDPartitioner
+from .faults import FaultPlan, FaultSpec, InjectedFault
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
-from .serve import PartitionService, ServeConfig
+from .serve import PartitionService, ServeConfig, ServeError
 from .store import PartitionStore
 
 # The single source of the package version: pyproject.toml declares
@@ -70,6 +76,7 @@ __all__ = [
     "distributed",
     "dynamic",
     "experiments",
+    "faults",
     "graphs",
     "partition",
     "serve",
@@ -89,7 +96,11 @@ __all__ = [
     "max_imbalance",
     "PartitionService",
     "ServeConfig",
+    "ServeError",
     "PartitionStore",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "__version__",
 ]
 

@@ -12,7 +12,11 @@ Subcommands
 ``partition``
     Read a SNAP-style edge list, partition it with GD (or a baseline chosen
     via ``--algorithm``), write one part id per line, and print the quality
-    metrics.
+    metrics.  ``--checkpoint-store`` persists frontier checkpoints into a
+    partition store as the recursion deepens; ``--resume`` replays a killed
+    run from its newest checkpoint to a bit-identical assignment.
+    ``--task-timeout`` / ``--task-retries`` bound and retry individual
+    bisection tasks (hung or crashed pool workers are replaced).
 ``evaluate``
     Score an existing assignment file against a graph.
 ``generate``
@@ -33,7 +37,9 @@ Subcommands
     in the background; SIGTERM shuts it down cleanly).  ``serve bench``
     replays Zipf-skewed lookup traffic against a live service and
     reports lookups/sec, p50/p99 latency and the repair lag, with
-    optional pass/fail floors for CI.
+    optional pass/fail floors for CI.  ``serve chaos`` runs the seeded
+    fault-injection storm end to end (worker crashes, failed absorbs, a
+    client disconnect) and exits 0 iff the service self-healed.
 """
 
 from __future__ import annotations
@@ -158,6 +164,35 @@ def build_parser() -> argparse.ArgumentParser:
                                 "freeze (large end-to-end speedup at identical "
                                 "quality; outputs may differ from the masked "
                                 "path in the last float bits)")
+    partition.add_argument("--task-timeout", dest="task_timeout", type=float,
+                           default=None, metavar="SECONDS",
+                           help="per-bisection-task wall-clock budget for "
+                                "--parallelism thread/process; a task that "
+                                "exceeds it is retried (hung pool workers are "
+                                "replaced). Default: no timeout")
+    partition.add_argument("--task-retries", type=int, default=None, metavar="N",
+                           help="re-runs allowed per failed/timed-out "
+                                "bisection task before the run aborts "
+                                "(retries re-derive the task seed, so the "
+                                "result stays bit-identical; default from "
+                                "GDConfig)")
+    partition.add_argument("--checkpoint-store", default=None, metavar="FILE",
+                           help="persist frontier checkpoints into this "
+                                "partition store (created if absent) so a "
+                                "killed run can be resumed with --resume")
+    partition.add_argument("--checkpoint-run", default=None, metavar="NAME",
+                           help="run name the checkpoints are filed under "
+                                "(default: partition)")
+    partition.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                           help="checkpoint every N recursion waves "
+                                "(default 1; see the README for guidance)")
+    partition.add_argument("--resume", action="store_true",
+                           help="resume from the newest checkpoint of "
+                                "--checkpoint-run instead of starting over "
+                                "(bit-identical to the uninterrupted run)")
+    partition.add_argument("--fault-plan", default=None, metavar="FILE",
+                           help="arm a JSON fault-injection plan for this run "
+                                "(testing/chaos only)")
     partition.add_argument("--seed", type=int, default=0)
     partition.add_argument("--output", help="write one part id per line to this file")
 
@@ -281,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument("--drain-seconds", type=float, default=30.0,
                            help="graceful-shutdown budget for draining "
                                 "pending churn batches")
+    serve_run.add_argument("--fault-plan", default=None, metavar="FILE",
+                           help="arm a JSON fault-injection plan for the "
+                                "service lifetime (chaos lane / testing only)")
     serve_run.add_argument("--seed", type=int, default=0)
     serve_bench = serve_sub.add_parser(
         "bench", help="replay Zipf-skewed lookup load against a live service")
@@ -313,6 +351,22 @@ def build_parser() -> argparse.ArgumentParser:
                                   "are still unapplied at the end of the run")
     serve_bench.add_argument("--shutdown", action="store_true",
                              help="send a shutdown request after the run")
+    serve_chaos = serve_sub.add_parser(
+        "chaos", help="run the seeded self-healing chaos scenario")
+    serve_chaos.add_argument("--fault-plan", default=None, metavar="FILE",
+                             help="JSON fault plan to inject (default: the "
+                                  "canonical storm — two repair-worker "
+                                  "crashes, one failed absorb, one slow "
+                                  "absorb)")
+    serve_chaos.add_argument("--seed", type=int, default=0,
+                             help="seed for the graph, the default plan and "
+                                  "the lookup traffic")
+    serve_chaos.add_argument("--vertices", type=int, default=300,
+                             help="synthetic social-graph size")
+    serve_chaos.add_argument("--parts", type=int, default=4,
+                             help="number of parts k")
+    serve_chaos.add_argument("--json", default=None, metavar="FILE",
+                             help="also write the report as JSON")
     return parser
 
 
@@ -326,24 +380,79 @@ def _report(partition: Partition, weights) -> str:
 
 
 def _run_partition(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.graph)
-    weights = weight_matrix(graph, args.weights)
+    from contextlib import nullcontext
+
+    from .core.executor import ExecutorTaskError
+    from .faults import FaultPlan, InjectedFault, inject
+    from .store import StoreError
+
+    checkpointing = args.checkpoint_store is not None
+    if args.resume and not checkpointing:
+        return _fail("--resume needs --checkpoint-store")
+    if checkpointing and args.algorithm != "gd":
+        return _fail("checkpointing is only supported for --algorithm gd")
+    guard = nullcontext()
+    if args.fault_plan is not None:
+        try:
+            guard = inject(FaultPlan.from_file(args.fault_plan))
+        except ValueError as error:
+            return _fail(str(error))
+
+    try:
+        graph = read_edge_list(args.graph)
+        weights = weight_matrix(graph, args.weights)
+    except (OSError, ValueError) as error:
+        return _fail(str(error))
     if args.algorithm == "gd":
         # Every GDConfig-shaped flag (iterations, seed, projection method,
-        # parallelism, multilevel knobs, kernel backend, ...) flows through
-        # the shared from_args convention; absent optional flags fall back
-        # to the field defaults.
-        partitioner = GDPartitioner(epsilon=args.epsilon,
-                                    config=GDConfig.from_args(args))
+        # parallelism, multilevel knobs, kernel backend, task timeout and
+        # retry budget, ...) flows through the shared from_args convention;
+        # absent optional flags fall back to the field defaults.
+        config = GDConfig.from_args(args)
+        partitioner = GDPartitioner(epsilon=args.epsilon, config=config)
     else:
         partitioner = (_ALGORITHMS[args.algorithm](seed=args.seed)
                        if args.algorithm != "hash" else HashPartitioner(salt=args.seed))
-    partition = partitioner.partition(graph, weights, args.parts)
+    try:
+        with guard:
+            if checkpointing:
+                partition = _partition_with_checkpoints(args, graph, weights,
+                                                        config)
+            else:
+                partition = partitioner.partition(graph, weights, args.parts)
+    except (ExecutorTaskError, InjectedFault, StoreError, OSError,
+            ValueError) as error:
+        return _fail(str(error))
     print(_report(partition, weights))
     if args.output:
         write_partition(partition.assignment, args.output)
         print(f"assignment written to {args.output}")
     return 0
+
+
+def _partition_with_checkpoints(args: argparse.Namespace, graph, weights,
+                                config: GDConfig) -> Partition:
+    """Recursive k-way GD with frontier checkpoints in a partition store.
+
+    Checkpoints are filed under ``--checkpoint-run`` (atomic INSERT OR
+    REPLACE per wave); ``--resume`` replays from the newest one and is
+    bit-identical to the uninterrupted run because task seeds are a pure
+    function of the task coordinate."""
+    from .core.recursive import recursive_bisection
+    from .store import PartitionStore
+
+    run = args.checkpoint_run or "partition"
+    with PartitionStore(args.checkpoint_store) as store:
+        resume_from = None
+        if args.resume:
+            resume_from = store.get_checkpoint(run)
+            print(f"resuming run {run!r} from checkpoint level "
+                  f"{resume_from.level}")
+        return recursive_bisection(
+            graph, weights, args.parts, args.epsilon, config,
+            checkpoint_sink=lambda checkpoint: store.put_checkpoint(run, checkpoint),
+            checkpoint_every=args.checkpoint_every,
+            resume_from=resume_from)
 
 
 def _fail(message: str) -> int:
@@ -515,6 +624,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         logging.basicConfig(level=logging.INFO, stream=sys.stderr,
                             format="%(asctime)s %(name)s %(levelname)s "
                                    "%(message)s")
+        if args.fault_plan is not None:
+            from .faults import FaultPlan, arm
+
+            try:
+                arm(FaultPlan.from_file(args.fault_plan))
+            except ValueError as error:
+                return _fail(str(error))
         serve_config = ServeConfig.from_args(args)
         try:
             service = PartitionService.from_store(
@@ -572,6 +688,38 @@ def _run_serve(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0
+    if args.serve_command == "chaos":
+        import json
+        import logging
+
+        from .faults import FaultPlan
+        from .serve import (
+            build_chaos_service,
+            default_chaos_plan,
+            format_chaos_report,
+            run_chaos,
+        )
+
+        logging.basicConfig(level=logging.INFO, stream=sys.stderr,
+                            format="%(asctime)s %(name)s %(levelname)s "
+                                   "%(message)s")
+        try:
+            plan = (FaultPlan.from_file(args.fault_plan)
+                    if args.fault_plan is not None
+                    else default_chaos_plan(args.seed))
+            service = build_chaos_service(num_vertices=args.vertices,
+                                          num_parts=args.parts,
+                                          seed=args.seed)
+            report = asyncio.run(run_chaos(service, plan))
+        except (OSError, RuntimeError, ValueError) as error:
+            return _fail(str(error))
+        print(format_chaos_report(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report written to {args.json}")
+        return 0 if report.recovered else 1
     raise AssertionError(f"unhandled serve command {args.serve_command!r}")
 
 

@@ -8,7 +8,8 @@ from .config import (
     PROJECTION_METHODS,
     install_rename_shims,
 )
-from .executor import BisectionExecutor, task_seed
+from .checkpoint import CheckpointMismatch, FrontierCheckpoint, TaskState
+from .executor import BisectionExecutor, ExecutorTaskError, task_seed
 from .kernels import (
     Fused32Backend,
     FusedBackend,
@@ -55,7 +56,11 @@ __all__ = [
     "PROJECTION_METHODS",
     "install_rename_shims",
     "BisectionExecutor",
+    "ExecutorTaskError",
     "task_seed",
+    "CheckpointMismatch",
+    "FrontierCheckpoint",
+    "TaskState",
     "Fused32Backend",
     "FusedBackend",
     "KernelBackend",

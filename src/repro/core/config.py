@@ -331,6 +331,20 @@ class GDConfig(ConfigIO):
         previous (integral) assignment with most vertices frozen, so a
         short compacted budget suffices — this is the lever behind the
         repair-vs-recompute work ratio.
+    task_timeout_seconds:
+        Per-task wall-clock budget on the thread/process backends.  A
+        task that exceeds it is treated exactly like a task that raised:
+        retried up to ``task_retries`` times (the process backend kills
+        and rebuilds the pool first, since a hung worker cannot be
+        reclaimed any other way).  ``None`` (the default) waits forever,
+        the pre-resilience behavior.  Ignored by the serial and batched
+        backends, which run in the coordinating process.
+    task_retries:
+        How many times a failed or timed-out task is re-executed before
+        the run fails with :class:`~repro.core.executor.ExecutorTaskError`.
+        Retries are deterministic: the task's RNG seed is a pure function
+        of its recursion-tree coordinate (:func:`~repro.core.executor.task_seed`),
+        so a retry replays bit-identical work.
     """
 
     iterations: int = 100
@@ -358,12 +372,15 @@ class GDConfig(ConfigIO):
     repartition_hops: int = 2
     repartition_damage_threshold: float = 0.05
     repartition_iterations: int = 10
+    task_timeout_seconds: float | None = None
+    task_retries: int = 2
 
     _ARG_ALIASES = {
         "workers": "max_workers",
         "hops": "repartition_hops",
         "damage_threshold": "repartition_damage_threshold",
         "repair_iterations": "repartition_iterations",
+        "task_timeout": "task_timeout_seconds",
     }
     _RENAMED_FIELDS = {"projection": "projection_method"}
 
@@ -401,6 +418,10 @@ class GDConfig(ConfigIO):
             raise ValueError("repartition_damage_threshold must be positive")
         if self.repartition_iterations < 1:
             raise ValueError("repartition_iterations must be at least 1")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ValueError("task_timeout_seconds must be positive when given")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
 
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""

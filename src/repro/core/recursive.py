@@ -53,13 +53,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
+from ..faults import fault_site
 from ..graphs.graph import Graph
 from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_num_parts, validate_weights
+from .checkpoint import FrontierCheckpoint, TaskState
 from .config import GDConfig
 from .executor import BisectionExecutor, task_seed
 from .gd import gd_bisect
@@ -155,7 +157,10 @@ def _expand(task: _Task, mapping: np.ndarray, local_assignment: np.ndarray) -> I
 def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
                         epsilon: float = 0.05, config: GDConfig | None = None,
                         *, parallelism: str | None = None,
-                        max_workers: int | None = None) -> Partition:
+                        max_workers: int | None = None,
+                        checkpoint_sink: Callable[[FrontierCheckpoint], None] | None = None,
+                        checkpoint_every: int = 1,
+                        resume_from: FrontierCheckpoint | None = None) -> Partition:
     """Partition ``graph`` into ``num_parts`` parts by recursive GD bisection.
 
     Parameters
@@ -169,12 +174,29 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
         convenient when the caller holds a shared config but wants to pick
         the execution backend per call.  The output is bit-identical across
         backends for a fixed ``config.seed`` (see the module docstring).
+    checkpoint_sink, checkpoint_every:
+        When ``checkpoint_sink`` is given it receives a
+        :class:`~repro.core.checkpoint.FrontierCheckpoint` at the top of
+        every ``checkpoint_every``-th wave (the first wave is never
+        checkpointed — it holds no progress).  Sinks should store the
+        checkpoint atomically (e.g.
+        :meth:`repro.store.PartitionStore.put_checkpoint`); a sink that
+        raises aborts the run.
+    resume_from:
+        A checkpoint from an earlier, interrupted run of the *same*
+        graph/config (validated via
+        :meth:`~repro.core.checkpoint.FrontierCheckpoint.validate_against`).
+        The run restarts at the checkpoint's wave; by the
+        deterministic-seeding contract the final assignment is
+        bit-identical to the uninterrupted run's.
     """
     config = config if config is not None else GDConfig()
     if parallelism is not None:
         config = config.with_updates(parallelism=parallelism)
     if max_workers is not None:
         config = config.with_updates(max_workers=max_workers)
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
     epsilon = validate_epsilon(epsilon)
     num_parts = validate_num_parts(num_parts, graph.num_vertices)
     weights = validate_weights(graph, weights)
@@ -184,12 +206,43 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
 
     _, epsilon_per_level = per_level_epsilon(num_parts, epsilon)
 
-    assignment = np.zeros(graph.num_vertices, dtype=np.int64)
-    frontier = [_Task(vertex_ids=np.arange(graph.num_vertices), num_parts=num_parts,
-                      first_part=0, depth=0)]
+    if resume_from is not None:
+        resume_from.validate_against(
+            num_vertices=graph.num_vertices, num_edges=graph.num_edges,
+            num_parts=num_parts, epsilon=epsilon, seed=config.seed)
+        level = resume_from.level
+        assignment = np.array(resume_from.assignment, dtype=np.int64, copy=True)
+        frontier = [_Task(vertex_ids=np.asarray(task.vertex_ids, dtype=np.int64),
+                          num_parts=task.num_parts, first_part=task.first_part,
+                          depth=task.depth)
+                    for task in resume_from.tasks]
+    else:
+        level = 0
+        assignment = np.zeros(graph.num_vertices, dtype=np.int64)
+        frontier = [_Task(vertex_ids=np.arange(graph.num_vertices), num_parts=num_parts,
+                          first_part=0, depth=0)]
 
-    with BisectionExecutor(config.parallelism, config.max_workers) as executor:
+    checkpoint_meta = {"num_vertices": graph.num_vertices,
+                       "num_edges": graph.num_edges, "num_parts": num_parts,
+                       "epsilon": epsilon, "seed": config.seed}
+
+    with BisectionExecutor(config.parallelism, config.max_workers,
+                           task_timeout_seconds=config.task_timeout_seconds,
+                           task_retries=config.task_retries) as executor:
         while frontier:
+            if checkpoint_sink is not None and level > 0 and level % checkpoint_every == 0:
+                checkpoint_sink(FrontierCheckpoint(
+                    level=level, assignment=assignment.copy(),
+                    tasks=tuple(TaskState(vertex_ids=task.vertex_ids,
+                                          num_parts=task.num_parts,
+                                          first_part=task.first_part,
+                                          depth=task.depth)
+                                for task in frontier),
+                    meta=dict(checkpoint_meta)))
+            # Chaos hook: lets kill-and-resume tests die right after (or
+            # right before) a checkpoint, keyed by wave level.
+            fault_site("recursive.wave", label=f"level={level}")
+
             pending: list[_Task] = []
             for task in frontier:
                 if task.num_parts == 1 or task.vertex_ids.size == 0:
@@ -199,10 +252,13 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
 
             prepared = _prepare_wave(graph, weights, pending, epsilon_per_level, config)
             local_assignments = executor.solve_frontier(
-                [subproblem for subproblem, _ in prepared], _run_subproblem)
+                [subproblem for subproblem, _ in prepared], _run_subproblem,
+                labels=[f"depth={task.depth}/part={task.first_part}"
+                        for task in pending])
 
             frontier = [child
                         for task, (_, mapping), local in zip(pending, prepared, local_assignments)
                         for child in _expand(task, mapping, local)]
+            level += 1
 
     return Partition(graph=graph, assignment=assignment, num_parts=num_parts)

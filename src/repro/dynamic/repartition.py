@@ -319,6 +319,21 @@ class IncrementalRepartitioner:
             elapsed_seconds=time.perf_counter() - start,
         )
 
+    def recompute(self) -> RepairReport:
+        """Rebuild the partition from the live graph, outside any batch.
+
+        The serving stack's circuit breaker calls this after repeated
+        repair failures: whatever inconsistent state the failed repairs
+        left behind (partially mutated multipliers, a damaged
+        assignment), a from-scratch recursive solve of the *current*
+        graph replaces it wholesale.  Reported with mode
+        ``"escalated"``.
+        """
+        return self._recompute(DamageScore(churn_fraction=0.0,
+                                           cut_increase_fraction=0.0,
+                                           balance_violation=0.0),
+                               time.perf_counter(), mode="escalated")
+
     def _recompute(self, damage: DamageScore, start: float,
                    mode: str = "recompute",
                    extra_iterations: int = 0) -> RepairReport:

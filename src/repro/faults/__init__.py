@@ -1,0 +1,35 @@
+"""Deterministic, seeded fault injection (see :mod:`repro.faults.plan`).
+
+Split in two halves: :mod:`~repro.faults.plan` is the declarative side
+(what fails, where, when — plain JSON-serializable data), and
+:mod:`~repro.faults.registry` is the armed side (the per-process
+registry, the zero-overhead ``fault_site`` hook, and the scoped
+``inject`` context manager).
+"""
+
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+from .registry import (
+    FaultRegistry,
+    FiredFault,
+    arm,
+    attempt_scope,
+    current_registry,
+    disarm,
+    fault_site,
+    inject,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRegistry",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedFault",
+    "arm",
+    "attempt_scope",
+    "current_registry",
+    "disarm",
+    "fault_site",
+    "inject",
+]

@@ -1,0 +1,200 @@
+"""Deterministic fault plans: *what* fails, *where*, and *when*.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec` records,
+each naming an instrumented **site** (a string like ``"serve.repair"`` or
+``"executor.task"``), the fault **kind** to inject there, and the
+**invocation window** in which it fires.  Plans are plain data: they
+serialize to/from JSON (``repro serve chaos --fault-plan plan.json``),
+compare by value, and never carry callables — which is what keeps a
+chaos scenario reproducible from its plan + seed alone.
+
+Fault kinds
+-----------
+``"exception"``
+    Raise :class:`InjectedFault` at the site.  Inside a pool worker this
+    is a *task failure* (the executor retries it); escaping an asyncio
+    task it is a *worker crash* (the supervisor restarts it).
+``"crash"``
+    Hard process death: ``os._exit(...)``.  Only meaningful inside a
+    process-pool worker, where it surfaces to the coordinator as a
+    :class:`~concurrent.futures.process.BrokenProcessPool` and exercises
+    the dead-pool rebuild path.  Never inject it at a site that runs in
+    the coordinating process.
+``"hang"``
+    Sleep for ``duration`` seconds (default 30) — long enough to trip
+    any sane task timeout, short enough that a leaked thread eventually
+    unwinds.  A hung process-pool worker is killed by the pool rebuild;
+    a hung pool *thread* sleeps out harmlessly in the background.
+``"slow"``
+    Sleep for ``duration`` seconds (default 0.05) and continue — load
+    for backpressure/staleness paths, not an error.
+
+Keying
+------
+A spec fires when all of its filters match the firing site:
+
+* ``site`` — exact site name (required);
+* ``at`` / ``times`` — fire for invocations ``at <= n < at + times`` of
+  that site, counted per registry *per process* (a forked pool worker
+  starts its own count — see :mod:`repro.faults.registry`); ``at=None``
+  matches any invocation;
+* ``label`` — exact match against the label the site passes (task
+  coordinates like ``"depth=1/part=0"``), for pinpointing one task of a
+  wave independent of scheduling; ``None`` matches any label;
+* ``attempt`` — the executor's retry attempt (0 = first execution).
+  Defaults to 0 so a retried task does **not** re-trip the same fault —
+  the property that makes "inject, fail, retry, recover, bit-identical
+  output" scenarios terminate.  ``attempt=None`` fires on every attempt
+  (a *permanent* fault, for exercising terminal-failure paths).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "InjectedFault"]
+
+#: Fault kinds a :class:`FaultSpec` may carry.
+FAULT_KINDS = ("exception", "crash", "hang", "slow")
+
+#: Default sleep per kind (seconds) when the spec does not set one.
+_DEFAULT_DURATIONS = {"hang": 30.0, "slow": 0.05}
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``exception`` faults (and the marker the
+    resilience layers may treat specially in logs).  Deliberately a
+    :class:`RuntimeError`: the code under test must survive it through
+    its *generic* failure handling, not through fault-aware special
+    cases."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where, what, and during which invocations."""
+
+    site: str
+    kind: str = "exception"
+    at: int | None = 0
+    times: int = 1
+    label: str | None = None
+    attempt: int | None = 0
+    duration: float | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault site must be a non-empty string")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.at is not None and self.at < 0:
+            raise ValueError("at must be non-negative when given")
+        if self.times < 1:
+            raise ValueError("times must be at least 1")
+        if self.duration is not None and self.duration < 0:
+            raise ValueError("duration must be non-negative when given")
+
+    @property
+    def sleep_seconds(self) -> float:
+        """The sleep this spec implies (0 for non-sleeping kinds)."""
+        if self.duration is not None:
+            return self.duration
+        return _DEFAULT_DURATIONS.get(self.kind, 0.0)
+
+    def matches(self, invocation: int, label: str | None,
+                attempt: int) -> bool:
+        """Does this spec fire for the given site invocation?"""
+        if self.at is not None and not (self.at <= invocation
+                                        < self.at + self.times):
+            return False
+        if self.label is not None and self.label != label:
+            return False
+        if self.attempt is not None and self.attempt != attempt:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "kind": self.kind, "at": self.at,
+                "times": self.times, "label": self.label,
+                "attempt": self.attempt, "duration": self.duration,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "FaultSpec":
+        known = {"site", "kind", "at", "times", "label", "attempt",
+                 "duration", "message"}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {', '.join(unknown)}")
+        return cls(**mapping)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of faults.
+
+    ``seed`` does not drive the faults themselves (specs are fully
+    explicit) — it is carried so a scenario built around the plan (churn
+    seeds, jittered backoffs) can derive all of its randomness from one
+    number and stay reproducible end to end.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store a tuple (hashable, frozen).
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Distinct sites this plan touches, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for spec in self.faults:
+            seen.setdefault(spec.site, None)
+        return tuple(seen)
+
+    def match(self, site: str, invocation: int, label: str | None,
+              attempt: int) -> FaultSpec | None:
+        """The first spec firing for this site invocation, if any."""
+        for spec in self.faults:
+            if spec.site == site and spec.matches(invocation, label, attempt):
+                return spec
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the CLI's --fault-plan format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "FaultPlan":
+        unknown = sorted(set(mapping) - {"seed", "faults"})
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {', '.join(unknown)}")
+        faults = tuple(FaultSpec.from_dict(entry)
+                       for entry in mapping.get("faults", []))
+        return cls(faults=faults, seed=int(mapping.get("seed", 0)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        try:
+            return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            raise ValueError(f"cannot load fault plan {path}: {error}") from error

@@ -1,0 +1,183 @@
+"""The armed side of fault injection: registry, site hook, attempt scope.
+
+Instrumented code calls :func:`fault_site` at named sites::
+
+    from repro.faults import fault_site
+    ...
+    fault_site("serve.repair")                     # counted per site
+    fault_site("executor.task", label=task.label)  # plus a task label
+
+With no plan armed the call is one module-global load and a ``None``
+check — effectively free, so sites can live on hot-ish paths.  Arming is
+explicit and scoped::
+
+    with inject(plan) as registry:
+        ...                      # sites consult `plan`
+    registry.fired               # what actually fired, for assertions
+
+or process-lifetime for a CLI run (``arm(plan)`` / ``disarm()``).
+
+Process and thread semantics
+----------------------------
+The registry is **process-local**.  On Linux (``fork`` start method) a
+process pool created while a plan is armed inherits the registry — each
+worker then counts its *own* site invocations from the fork point, so
+``at``-keyed faults in workers are deterministic only for single-worker
+pools; ``label``-keyed faults are deterministic regardless of scheduling
+because the label is the task's identity.  Under ``spawn`` (macOS /
+Windows default) workers start unarmed — pool-worker faults are a
+Linux/CI facility, exactly like the chaos lane that uses them.
+
+Invocation counting is thread-safe (one lock per registry); the *retry
+attempt* is tracked per thread (:func:`attempt_scope`), set by the
+executor around retried task executions so a default fault
+(``attempt=0``) does not re-trip on the retry.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .plan import FaultPlan, FaultSpec, InjectedFault
+
+__all__ = [
+    "FaultRegistry",
+    "FiredFault",
+    "arm",
+    "attempt_scope",
+    "current_registry",
+    "disarm",
+    "fault_site",
+    "inject",
+]
+
+logger = logging.getLogger("repro.faults")
+
+#: The armed registry; ``None`` (the overwhelmingly common case) means
+#: every ``fault_site`` call is a no-op after one global load.
+_ACTIVE: "FaultRegistry | None" = None
+
+_attempt_local = threading.local()
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault that actually fired (the registry's audit log)."""
+
+    site: str
+    invocation: int
+    label: str | None
+    attempt: int
+    kind: str
+
+
+class FaultRegistry:
+    """Counts site invocations and executes matching faults of a plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    def invocations(self, site: str) -> int:
+        """How many times ``site`` fired in this process so far."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def fire(self, site: str, label: str | None = None) -> None:
+        """Count one invocation of ``site`` and execute a matching fault."""
+        attempt = getattr(_attempt_local, "value", 0)
+        with self._lock:
+            invocation = self._counts.get(site, 0)
+            self._counts[site] = invocation + 1
+            spec = self.plan.match(site, invocation, label, attempt)
+            if spec is None:
+                return
+            self.fired.append(FiredFault(site=site, invocation=invocation,
+                                         label=label, attempt=attempt,
+                                         kind=spec.kind))
+        # Execute outside the lock: sleeps and raises must not serialize
+        # other sites.
+        self._execute(spec, site, invocation, label, attempt)
+
+    @staticmethod
+    def _execute(spec: FaultSpec, site: str, invocation: int,
+                 label: str | None, attempt: int) -> None:
+        where = f"site {site!r} invocation {invocation}"
+        if label is not None:
+            where += f" label {label!r}"
+        if attempt:
+            where += f" attempt {attempt}"
+        logger.warning("injecting %s fault at %s", spec.kind, where)
+        if spec.kind in ("hang", "slow"):
+            time.sleep(spec.sleep_seconds)
+            return
+        if spec.kind == "crash":
+            # Hard worker death, bypassing all exception handling — the
+            # coordinator sees a broken pool, exactly like a segfault/OOM
+            # kill.  (In the coordinating process this would kill the
+            # run; plans must only aim it at pool workers.)
+            os._exit(66)
+        raise InjectedFault(spec.message or f"injected fault at {where}")
+
+
+def current_registry() -> FaultRegistry | None:
+    """The armed registry, if any (for assertions in tests/scenarios)."""
+    return _ACTIVE
+
+
+def arm(plan: FaultPlan) -> FaultRegistry:
+    """Arm ``plan`` for this process until :func:`disarm` (CLI entry
+    point; tests should prefer the scoped :func:`inject`)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already armed")
+    _ACTIVE = FaultRegistry(plan)
+    if plan.faults:
+        logger.warning("fault plan armed: %d fault(s) across sites %s",
+                       len(plan.faults), ", ".join(plan.sites))
+    return _ACTIVE
+
+
+def disarm() -> None:
+    """Disarm any armed plan (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Scoped arming: ``with inject(plan) as registry: ...``."""
+    registry = arm(plan)
+    try:
+        yield registry
+    finally:
+        disarm()
+
+
+def fault_site(name: str, label: str | None = None) -> None:
+    """Fault hook: a no-op unless a plan is armed (see module docs)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.fire(name, label=label)
+
+
+@contextmanager
+def attempt_scope(attempt: int):
+    """Mark the current thread as executing retry ``attempt`` (0-based).
+
+    The executor wraps retried task executions in this scope so specs
+    with the default ``attempt=0`` fire only on first executions.
+    """
+    previous = getattr(_attempt_local, "value", 0)
+    _attempt_local.value = int(attempt)
+    try:
+        yield
+    finally:
+        _attempt_local.value = previous

@@ -6,27 +6,47 @@ This package is that consumer:
 
 * :class:`PartitionService` — in-memory core: vertex→part lookups,
   routing and fanout queries answered from an atomically-swapped
-  assignment while a background worker absorbs churn through the
-  :class:`~repro.dynamic.IncrementalRepartitioner`;
+  assignment while a supervised background worker absorbs churn through
+  the :class:`~repro.dynamic.IncrementalRepartitioner` (crash-restarted
+  with backoff, circuit-broken to a full recompute when repairs keep
+  failing);
 * :class:`PartitionServer` — asyncio TCP front end speaking the
-  newline-delimited JSON protocol of :mod:`repro.serve.protocol`;
-* :class:`ServiceClient` — minimal client (load driver, CLI, tests);
+  newline-delimited JSON protocol of :mod:`repro.serve.protocol`
+  (including the ``health`` verb);
+* :class:`ServiceClient` — minimal client with request timeouts and
+  reconnect-retry (load driver, CLI, tests); failures surface as
+  :class:`ServeError`;
 * :func:`run_load` / :func:`drive` — the Zipf-skewed load driver behind
   ``repro serve bench`` and the CI service-smoke lane;
+* :func:`run_chaos` / :func:`default_chaos_plan` — the seeded chaos
+  scenario behind ``repro serve chaos`` and the CI chaos lane;
 * :class:`ServeConfig` — the service-level knobs.
 """
 
+from .chaos import (
+    ChaosReport,
+    build_chaos_service,
+    default_chaos_plan,
+    format_chaos_report,
+    run_chaos,
+)
 from .config import ServeConfig
 from .load import LoadReport, drive, format_report, run_load
-from .protocol import MAX_LINE_BYTES, ServiceClient
+from .protocol import MAX_LINE_BYTES, ServeError, ServiceClient
 from .service import PartitionServer, PartitionService
 
 __all__ = [
     "ServeConfig",
+    "ServeError",
     "LoadReport",
     "drive",
     "format_report",
     "run_load",
+    "ChaosReport",
+    "build_chaos_service",
+    "default_chaos_plan",
+    "format_chaos_report",
+    "run_chaos",
     "MAX_LINE_BYTES",
     "ServiceClient",
     "PartitionServer",

@@ -1,0 +1,247 @@
+"""Seeded chaos scenario for the serving stack.
+
+Drives a live :class:`~repro.serve.PartitionServer` through a scripted
+failure storm — repair-worker crashes mid-churn, a failing absorb, a
+slow repair, a client disconnect — under a deterministic
+:class:`~repro.faults.FaultPlan`, and verifies the self-healing
+contract from the outside, through the TCP protocol only:
+
+* **lookups never fail** — every lookup during the storm answers from
+  the last published assignment;
+* **health is honest** — the ``health`` verb walks
+  ``ok → recovering/degraded → ok`` as the worker crashes, restarts and
+  catches up;
+* **no churn is lost** — every ingested batch is eventually absorbed
+  (the crashed worker's in-flight batch included).
+
+``repro serve chaos`` runs this end to end in one process (the CI chaos
+lane greps its ``recovered`` verdict); the same driver backs the
+``tests/test_chaos.py`` assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import GDConfig
+from ..core.recursive import recursive_bisection
+from ..faults import FaultPlan, FaultSpec, inject
+from .config import ServeConfig
+from .protocol import ServiceClient
+from .service import PartitionServer, PartitionService
+
+__all__ = ["ChaosReport", "build_chaos_service", "default_chaos_plan",
+           "format_chaos_report", "run_chaos"]
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The canonical storm: crash the repair worker twice while it holds
+    a batch, fail one absorb (degraded health until the next success),
+    and slow another (load, not an error).
+
+    Site invocation map (``serve.repair`` fires once per batch-processing
+    attempt, ``serve.absorb`` once per actual absorb): batch 1 absorbs
+    cleanly, batch 2 crashes the worker twice and lands on the third
+    attempt, batch 3 fails in absorb, batch 4 absorbs slowly.
+    """
+    return FaultPlan(seed=seed, faults=(
+        FaultSpec(site="serve.repair", at=1, times=2,
+                  message="chaos: repair worker crash"),
+        FaultSpec(site="serve.absorb", at=2, times=1,
+                  message="chaos: absorb failure"),
+        FaultSpec(site="serve.absorb", kind="slow", at=3, times=1,
+                  duration=0.05),
+    ))
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What the scenario observed (all through the wire protocol)."""
+
+    lookups: int
+    failed_lookups: int
+    churn_batches: int
+    batches_applied: int
+    batches_failed: int
+    worker_restarts: int
+    repair_recoveries: int
+    escalations: int
+    health_sequence: tuple[str, ...]
+    final_status: str
+    elapsed_seconds: float
+
+    @property
+    def recovered(self) -> bool:
+        """The self-healing contract held end to end."""
+        return (self.failed_lookups == 0
+                and self.repair_recoveries > 0
+                and self.final_status == "ok"
+                and "ok" in self.health_sequence[:1]
+                and "degraded" in self.health_sequence)
+
+    def as_dict(self) -> dict:
+        return {"lookups": self.lookups,
+                "failed_lookups": self.failed_lookups,
+                "churn_batches": self.churn_batches,
+                "batches_applied": self.batches_applied,
+                "batches_failed": self.batches_failed,
+                "worker_restarts": self.worker_restarts,
+                "repair_recoveries": self.repair_recoveries,
+                "escalations": self.escalations,
+                "health_sequence": list(self.health_sequence),
+                "final_status": self.final_status,
+                "recovered": self.recovered,
+                "elapsed_seconds": self.elapsed_seconds}
+
+
+def build_chaos_service(num_vertices: int = 300, num_parts: int = 4,
+                        seed: int = 0, config: GDConfig | None = None,
+                        serve_config: ServeConfig | None = None) -> PartitionService:
+    """A self-contained service over a synthetic social graph — the
+    ``repro serve chaos`` target (no store required: the scenario tests
+    failure handling, not persistence)."""
+    from ..graphs.generators import power_law_cluster_graph
+    from ..graphs.weights import weight_matrix
+
+    graph = power_law_cluster_graph(num_vertices, 6, 10.0, seed=seed)
+    weights = weight_matrix(graph, ["unit", "degree"])
+    if config is None:
+        config = GDConfig(iterations=15, seed=seed, repartition_iterations=5)
+    if serve_config is None:
+        serve_config = ServeConfig(port=0, restart_backoff_seconds=0.05,
+                                   restart_backoff_max_seconds=0.2,
+                                   client_timeout_seconds=10.0)
+    partition = recursive_bisection(graph, weights, num_parts,
+                                    serve_config.epsilon, config)
+    return PartitionService(graph, weights, partition.assignment, num_parts,
+                            config=config, serve_config=serve_config)
+
+
+async def run_chaos(service: PartitionService,
+                    plan: FaultPlan | None = None, *,
+                    step_timeout: float = 60.0,
+                    poll_interval: float = 0.005) -> ChaosReport:
+    """Run the storm against ``service`` and report what happened.
+
+    Boots a :class:`PartitionServer` on an ephemeral port, arms ``plan``
+    (default :func:`default_chaos_plan`), then walks the scripted
+    scenario, sampling ``health`` on every poll tick so the status
+    transitions land in :attr:`ChaosReport.health_sequence` in order.
+    """
+    if plan is None:
+        plan = default_chaos_plan()
+    started = time.monotonic()
+    rng = np.random.default_rng(plan.seed)
+    statuses: list[str] = []
+    lookups = 0
+    failed_lookups = 0
+    churn_sent = 0
+
+    server = PartitionServer(service)
+    with inject(plan):
+        await server.start()
+        timeout = service.serve_config.client_timeout_seconds
+        client = ServiceClient(service.serve_config.host, server.port,
+                               timeout=timeout)
+        await client.connect(wait_seconds=5.0)
+
+        async def sample_health() -> dict:
+            health = (await client.call("health"))["health"]
+            if not statuses or statuses[-1] != health["status"]:
+                statuses.append(health["status"])
+            return health
+
+        async def do_lookups(count: int = 3) -> None:
+            nonlocal lookups, failed_lookups
+            for _ in range(count):
+                ids = rng.integers(0, service.num_vertices, size=64)
+                try:
+                    response = await client.call("lookup", ids=ids.tolist())
+                    if len(response["parts"]) != ids.size:
+                        raise ValueError("short lookup response")
+                    lookups += int(ids.size)
+                except Exception:  # noqa: BLE001 — any failure counts
+                    failed_lookups += 1
+
+        async def wait_for(predicate, what: str) -> None:
+            deadline = time.monotonic() + step_timeout
+            while True:
+                await sample_health()
+                await do_lookups(1)
+                stats = (await client.call("stats"))["stats"]
+                if predicate(stats):
+                    return
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"chaos scenario stalled waiting for "
+                                       f"{what}: {stats}")
+                await asyncio.sleep(poll_interval)
+
+        async def churn() -> None:
+            nonlocal churn_sent
+            churn_sent += 1
+            await client.call("churn", fraction=0.02, seed=plan.seed + churn_sent)
+
+        try:
+            await sample_health()          # baseline: ok
+            await do_lookups()
+
+            await churn()                  # batch 1: clean absorb
+            await wait_for(lambda s: s["batches_applied"] >= 1, "batch 1")
+
+            await churn()                  # batch 2: crashes the worker
+            await wait_for(lambda s: s["batches_applied"] >= 2,
+                           "batch 2 (through worker crashes)")
+
+            # Client disconnect mid-storm: drop the connection outright;
+            # the next call() reconnects transparently.
+            await client.close()
+            await client.connect(wait_seconds=5.0)
+
+            await churn()                  # batch 3: absorb fails
+            await wait_for(lambda s: s["batches_failed"] >= 1, "batch 3 failure")
+            await sample_health()          # degraded (consecutive failure)
+
+            await churn()                  # batch 4: slow absorb, heals
+            await wait_for(lambda s: s["batches_applied"] >= 3, "batch 4")
+            await do_lookups()
+
+            final = await sample_health()
+            stats = (await client.call("stats"))["stats"]
+        finally:
+            await client.close()
+            await server.stop()
+
+    return ChaosReport(
+        lookups=lookups,
+        failed_lookups=failed_lookups,
+        churn_batches=churn_sent,
+        batches_applied=int(stats["batches_applied"]),
+        batches_failed=int(stats["batches_failed"]),
+        worker_restarts=int(stats["worker_restarts"]),
+        repair_recoveries=int(stats["repair_recoveries"]),
+        escalations=int(stats["escalations"]),
+        health_sequence=tuple(statuses),
+        final_status=final["status"],
+        elapsed_seconds=time.monotonic() - started)
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    verdict = ("recovered" if report.recovered
+               else "FAILED to recover")
+    lines = [
+        "Chaos scenario report",
+        f"  lookups           {report.lookups} served, "
+        f"{report.failed_lookups} failed",
+        f"  churn             {report.churn_batches} sent, "
+        f"{report.batches_applied} applied, {report.batches_failed} failed",
+        f"  worker restarts   {report.worker_restarts} "
+        f"({report.repair_recoveries} recoveries)",
+        f"  escalations       {report.escalations}",
+        f"  health            {' -> '.join(report.health_sequence)}",
+        f"  verdict           {verdict} in {report.elapsed_seconds:.2f}s",
+    ]
+    return "\n".join(lines)

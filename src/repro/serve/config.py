@@ -41,6 +41,30 @@ class ServeConfig(ConfigIO):
         drain pending churn batches before abandoning them.  (Renamed
         from ``shutdown_drain_seconds``, which keeps working with a
         :class:`DeprecationWarning`.)
+    client_timeout_seconds:
+        Default per-request timeout of :class:`~repro.serve.ServiceClient`
+        — a hung or half-dead server surfaces as a clean
+        :class:`~repro.serve.ServeError` instead of blocking the caller
+        forever.  ``None`` restores the old wait-forever behavior.
+    restart_backoff_seconds, restart_backoff_max_seconds:
+        Supervised-restart policy of the repair worker: the first restart
+        waits ``restart_backoff_seconds``, doubling per consecutive crash
+        up to the max, with deterministic seeded jitter (±50%) so
+        co-crashing replicas don't restart in lock-step.
+    max_worker_restarts:
+        Consecutive repair-worker crashes tolerated before the supervisor
+        gives up; the service then reports ``degraded`` health while
+        lookups keep answering from the last published assignment.  The
+        counter resets whenever a restarted worker absorbs a batch.
+    escalation_threshold:
+        Circuit breaker: after this many *consecutive* failed repair
+        batches the service escalates to a full recompute of the
+        partition from the live graph (mode ``"escalated"``), which
+        clears accumulated damage a local repair can no longer fix.
+    degraded_lag_batches:
+        Repair lag (batches ingested but not yet absorbed) beyond which
+        the ``health`` verb reports ``degraded`` — the staleness-honesty
+        bound.
     """
 
     host: str = "127.0.0.1"
@@ -50,6 +74,12 @@ class ServeConfig(ConfigIO):
     lookup_chunk: int = 65536
     degree_weight_dimension: int | None = 1
     drain_seconds: float = 30.0
+    client_timeout_seconds: float | None = 10.0
+    restart_backoff_seconds: float = 0.1
+    restart_backoff_max_seconds: float = 5.0
+    max_worker_restarts: int = 16
+    escalation_threshold: int = 3
+    degraded_lag_batches: int = 8
 
     _RENAMED_FIELDS = {"shutdown_drain_seconds": "drain_seconds"}
 
@@ -67,6 +97,20 @@ class ServeConfig(ConfigIO):
             raise ValueError("degree_weight_dimension must be non-negative")
         if self.drain_seconds < 0:
             raise ValueError("drain_seconds must be non-negative")
+        if (self.client_timeout_seconds is not None
+                and self.client_timeout_seconds <= 0):
+            raise ValueError("client_timeout_seconds must be positive when given")
+        if self.restart_backoff_seconds <= 0:
+            raise ValueError("restart_backoff_seconds must be positive")
+        if self.restart_backoff_max_seconds < self.restart_backoff_seconds:
+            raise ValueError("restart_backoff_max_seconds must be at least "
+                             "restart_backoff_seconds")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be non-negative")
+        if self.escalation_threshold < 1:
+            raise ValueError("escalation_threshold must be at least 1")
+        if self.degraded_lag_batches < 1:
+            raise ValueError("degraded_lag_batches must be at least 1")
 
     def with_updates(self, **changes) -> "ServeConfig":
         """Return a copy with the given fields replaced."""

@@ -78,14 +78,16 @@ def zipf_ids(num_vertices: int, num_lookups: int, skew: float,
 async def drive(host: str, port: int, num_lookups: int = 50_000,
                 batch_size: int = 256, skew: float = 1.0, seed: int = 0,
                 churn_batches: int = 0, churn_fraction: float = 0.01,
-                wait_seconds: float = 0.0) -> LoadReport:
+                wait_seconds: float = 0.0,
+                timeout: float | None = 10.0) -> LoadReport:
     """Run the load scenario against a live service.
 
     ``churn_batches`` churn requests are spread evenly across the lookup
     stream (the first one after ~one batch of lookups), so repairs run
-    *during* the measured traffic, not before or after it.
+    *during* the measured traffic, not before or after it.  ``timeout``
+    bounds each request (see :class:`ServiceClient`).
     """
-    client = ServiceClient(host, port)
+    client = ServiceClient(host, port, timeout=timeout)
     await client.connect(wait_seconds=wait_seconds)
     try:
         stats = (await client.call("stats"))["stats"]

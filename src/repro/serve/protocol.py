@@ -35,7 +35,7 @@ import asyncio
 import json
 from typing import Any
 
-__all__ = ["MAX_LINE_BYTES", "ServiceClient", "encode", "decode"]
+__all__ = ["MAX_LINE_BYTES", "ServeError", "ServiceClient", "encode", "decode"]
 
 #: Stream limit for one protocol line: a 65536-id lookup with 7-digit ids
 #: stays under 1 MiB; 4 MiB leaves comfortable headroom.
@@ -55,16 +55,32 @@ def decode(line: bytes) -> dict[str, Any]:
     return message
 
 
+class ServeError(RuntimeError):
+    """A client-visible service failure: error reply, timeout, or a
+    connection the retry path could not restore.  Subclasses
+    :class:`RuntimeError` so pre-existing ``except RuntimeError`` callers
+    keep working."""
+
+
 class ServiceClient:
     """A minimal asyncio client for the lookup service.
 
     Used by the load driver, the CLI's bench mode and the tests.  One
     in-flight request per client; open several clients for concurrency.
+
+    ``timeout`` bounds every request (send + response) —
+    :attr:`ServeConfig.client_timeout_seconds` is the conventional
+    source; a hung server surfaces as :class:`ServeError` instead of
+    blocking forever.  ``None`` waits indefinitely (the pre-resilience
+    behavior).
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int, timeout: float | None = 10.0):
         self.host = host
         self.port = int(port)
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive when given")
+        self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -84,9 +100,26 @@ class ServiceClient:
                 await asyncio.sleep(0.1)
 
     async def request(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Send one request and await its response."""
+        """Send one request and await its response.
+
+        Raises :class:`ServeError` when the response does not arrive
+        within :attr:`timeout`, and :class:`ConnectionError` when the
+        server closes the connection mid-request.
+        """
         if self._writer is None:
             raise RuntimeError("client is not connected")
+        try:
+            return await asyncio.wait_for(self._roundtrip(message),
+                                          timeout=self.timeout)
+        except asyncio.TimeoutError:
+            # The connection is now in an unknown state (the response may
+            # arrive later and desynchronize the stream) — drop it.
+            await self.close()
+            raise ServeError(
+                f"request to {self.host}:{self.port} timed out after "
+                f"{self.timeout}s (op {message.get('op')!r})") from None
+
+    async def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
         self._writer.write(encode(message))
         await self._writer.drain()
         line = await self._reader.readline()
@@ -95,11 +128,24 @@ class ServiceClient:
         return decode(line)
 
     async def call(self, op: str, **fields: Any) -> dict[str, Any]:
-        """``request`` that raises :class:`RuntimeError` on error replies."""
-        response = await self.request({"op": op, **fields})
+        """``request`` that raises :class:`ServeError` on error replies
+        and transparently reconnects-and-retries once when the connection
+        was lost (a restarted server picks the request up; a server that
+        stays down surfaces as :class:`ServeError`)."""
+        try:
+            response = await self.request({"op": op, **fields})
+        except (ConnectionError, OSError) as error:
+            try:
+                await self.close()
+                await self.connect(wait_seconds=self.timeout or 0.0)
+                response = await self.request({"op": op, **fields})
+            except (ConnectionError, OSError) as retry_error:
+                raise ServeError(
+                    f"connection to {self.host}:{self.port} lost ({error}) "
+                    f"and reconnect failed ({retry_error})") from retry_error
         if not response.get("ok"):
-            raise RuntimeError(f"service error for op {op!r}: "
-                               f"{response.get('error', 'unknown')}")
+            raise ServeError(f"service error for op {op!r}: "
+                             f"{response.get('error', 'unknown')}")
         return response
 
     async def close(self) -> None:

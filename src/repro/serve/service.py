@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ from ..dynamic import (
     UpdateBatch,
     degree_weight_deltas,
 )
+from ..faults import fault_site
 from ..graphs.generators import churn_trace
 from ..graphs.graph import Graph
 from .config import ServeConfig
@@ -108,6 +110,7 @@ class PartitionService:
         self._stopping = False
         self._queue: asyncio.Queue | None = None
         self._worker: asyncio.Task | None = None
+        self._supervisor: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._churn_seed = 0
         self._lookups = 0
@@ -116,6 +119,19 @@ class PartitionService:
         self._batches_applied = 0
         self._batches_failed = 0
         self._mode_counts: dict[str, int] = {}
+        # Self-healing state: the batch the (possibly crashed) worker was
+        # processing, restart/escalation counters, and staleness markers.
+        self._inflight = None
+        self._restart_pending = False
+        self._worker_dead = False
+        self._worker_restarts = 0
+        self._repair_recoveries = 0
+        self._escalations = 0
+        self._consecutive_failures = 0
+        self._last_repair_at: float | None = None
+        # Seeded jitter for restart backoff: deterministic per service,
+        # decorrelated across replicas by the port/seed mix.
+        self._jitter = random.Random(self.serve_config.port or 0)
 
     @classmethod
     def from_store(cls, store_path, graph_name: str, assignment_name: str,
@@ -198,13 +214,14 @@ class PartitionService:
     # Write path (bounded queue -> single repair worker)
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Start the background repair worker (idempotent)."""
-        if self._worker is not None:
+        """Start the supervised background repair worker (idempotent)."""
+        if self._supervisor is not None:
             return
         self._queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(max_workers=1,
                                             thread_name_prefix="repro-repair")
-        self._worker = asyncio.get_running_loop().create_task(self._repair_loop())
+        self._supervisor = asyncio.get_running_loop().create_task(
+            self._supervise())
 
     async def ingest(self, batch: UpdateBatch) -> int:
         """Enqueue a client-supplied churn batch; returns the queue depth."""
@@ -232,19 +249,81 @@ class PartitionService:
         self._batches_ingested += 1
         return self._queue.qsize()
 
+    async def _supervise(self) -> None:
+        """Run the repair worker, restarting it when it crashes.
+
+        Backoff doubles per consecutive crash (``restart_backoff_seconds``
+        up to the max) with seeded jitter; after ``max_worker_restarts``
+        consecutive crashes the supervisor gives up and the service stays
+        ``degraded`` (lookups keep answering).  The in-flight batch of a
+        crashed worker is preserved and reprocessed by its successor, so
+        a worker crash never loses churn.
+        """
+        config = self.serve_config
+        crashes_in_a_row = 0
+        while True:
+            worker = asyncio.get_running_loop().create_task(self._repair_loop())
+            self._worker = worker
+            try:
+                await worker
+                return  # clean exit: _STOP drained
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                if self._stopping:
+                    logger.warning("repair worker crashed during shutdown "
+                                   "(%s); not restarting", error)
+                    return
+                crashes_in_a_row += 1
+                self._worker_restarts += 1
+                self._consecutive_failures += 1
+                if crashes_in_a_row > config.max_worker_restarts:
+                    self._worker_dead = True
+                    logger.error(
+                        "repair worker crashed %d times in a row (%s); "
+                        "giving up — service degraded, lookups still served",
+                        crashes_in_a_row, error)
+                    return
+                delay = min(config.restart_backoff_seconds
+                            * (2.0 ** (crashes_in_a_row - 1)),
+                            config.restart_backoff_max_seconds)
+                delay *= 0.5 + self._jitter.random()  # jitter in [0.5, 1.5)
+                self._restart_pending = True
+                logger.warning(
+                    "repair worker crashed (%s); restart #%d in %.2fs",
+                    error, crashes_in_a_row, delay)
+                await asyncio.sleep(delay)
+                self._restart_pending = False
+                self._repair_recoveries += 1
+                logger.warning("repair worker recovered (restart #%d, "
+                               "%d batch(es) pending)", crashes_in_a_row,
+                               self._queue.qsize() + (self._inflight is not None))
+
     async def _repair_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            item = await self._queue.get()
+            # A crashed predecessor leaves its batch in _inflight; finish
+            # that one before pulling new work.
+            if self._inflight is None:
+                self._inflight = await self._queue.get()
+            item = self._inflight
+            if item is _STOP:
+                self._inflight = None
+                self._queue.task_done()
+                return
+            # Chaos hook *outside* the per-batch handler: an injected
+            # exception here escapes the loop and kills the worker task —
+            # the supervisor's restart path — with _inflight preserved.
+            fault_site("serve.repair")
             try:
-                if item is _STOP:
-                    return
                 report = await loop.run_in_executor(self._executor,
                                                     self._absorb, item)
                 # Publish: new array object, swapped in one assignment.
                 self._current = (self._current[0] + 1,
                                  self._repartitioner.assignment)
                 self._batches_applied += 1
+                self._consecutive_failures = 0
+                self._last_repair_at = time.monotonic()
                 self._mode_counts[report.mode] = (
                     self._mode_counts.get(report.mode, 0) + 1)
                 logger.info(
@@ -254,13 +333,47 @@ class PartitionService:
                     self.repair_lag)
             except Exception:
                 self._batches_failed += 1
-                logger.exception("churn batch failed; partition unchanged")
+                self._consecutive_failures += 1
+                logger.exception("churn batch failed; partition unchanged "
+                                 "(%d consecutive failure(s))",
+                                 self._consecutive_failures)
+                if (self._consecutive_failures
+                        >= self.serve_config.escalation_threshold):
+                    await self._escalate(loop)
             finally:
+                self._inflight = None
                 self._queue.task_done()
+
+    async def _escalate(self, loop) -> None:
+        """Circuit breaker: too many consecutive repair failures — rebuild
+        the whole partition from the live graph (mode ``"escalated"``)."""
+        logger.warning("circuit breaker open after %d consecutive failures; "
+                       "escalating to full recompute",
+                       self._consecutive_failures)
+        try:
+            report = await loop.run_in_executor(
+                self._executor, self._repartitioner.recompute)
+        except Exception:
+            logger.exception("escalated recompute failed; service stays "
+                             "degraded")
+            return
+        self._current = (self._current[0] + 1, self._repartitioner.assignment)
+        self._escalations += 1
+        self._consecutive_failures = 0
+        self._last_repair_at = time.monotonic()
+        self._mode_counts[report.mode] = (
+            self._mode_counts.get(report.mode, 0) + 1)
+        logger.warning("escalated recompute published version %d "
+                       "(locality=%.2f%%)", self._current[0],
+                       report.edge_locality_pct)
 
     def _absorb(self, item):
         """Runs on the repair executor thread — the only thread that
         touches the dynamic graph / repartitioner state."""
+        # Chaos hook *inside* the per-batch handler: an injected exception
+        # here is a failed batch (counted, possibly escalating the circuit
+        # breaker), not a worker crash; "slow" faults model heavy repairs.
+        fault_site("serve.absorb")
         if isinstance(item, _ChurnRequest):
             pairs = churn_trace(self._dynamic.snapshot(), 1, item.fraction,
                                 seed=item.seed)
@@ -288,27 +401,64 @@ class PartitionService:
 
     async def stop(self) -> None:
         """Graceful shutdown: drain pending churn, then stop the worker."""
-        if self._worker is None:
+        if self._supervisor is None:
             return
         self._stopping = True
         self._queue.put_nowait(_STOP)
         try:
             await asyncio.wait_for(
-                asyncio.shield(self._worker),
+                asyncio.shield(self._supervisor),
                 timeout=self.serve_config.drain_seconds or None)
         except asyncio.TimeoutError:
             dropped = self._queue.qsize()
             logger.warning("shutdown drain timed out; abandoning %d pending "
                            "batches", dropped)
-            self._worker.cancel()
+            self._supervisor.cancel()
             try:
-                await self._worker
+                await self._supervisor
             except asyncio.CancelledError:
                 pass
         self._executor.shutdown(wait=True)
+        self._supervisor = None
         self._worker = None
 
     # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The ``health`` verb: ``ok`` / ``degraded`` / ``recovering``
+        plus honest staleness numbers.
+
+        * ``recovering`` — the repair worker crashed and its restart is
+          pending (backoff running);
+        * ``degraded`` — repairs are failing (``consecutive_failures``),
+          the worker is permanently dead, or the repair lag exceeds
+          :attr:`ServeConfig.degraded_lag_batches`;
+        * ``ok`` — otherwise.
+
+        ``versions_behind`` is the repair lag (churn batches the served
+        assignment has not yet absorbed); ``seconds_since_last_repair``
+        is ``None`` until the first batch lands.
+        """
+        if self._restart_pending:
+            status = "recovering"
+        elif (self._worker_dead or self._consecutive_failures > 0
+              or self.repair_lag > self.serve_config.degraded_lag_batches):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "version": self.version,
+            "versions_behind": self.repair_lag,
+            "consecutive_failures": self._consecutive_failures,
+            "worker_alive": not self._worker_dead,
+            "worker_restarts": self._worker_restarts,
+            "repair_recoveries": self._repair_recoveries,
+            "escalations": self._escalations,
+            "seconds_since_last_repair": (
+                None if self._last_repair_at is None
+                else time.monotonic() - self._last_repair_at),
+        }
+
     def stats(self) -> dict:
         """Counters + current partition quality (the ``stats`` op)."""
         metrics = self._repartitioner.metrics
@@ -324,6 +474,9 @@ class PartitionService:
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "repair_lag": self.repair_lag,
             "modes": dict(self._mode_counts),
+            "worker_restarts": self._worker_restarts,
+            "repair_recoveries": self._repair_recoveries,
+            "escalations": self._escalations,
             "edge_locality_pct": float(metrics.edge_locality_pct),
             "max_imbalance_pct": 100.0 * float(metrics.max_imbalance()),
             "uptime_seconds": time.monotonic() - self._started,
@@ -435,6 +588,8 @@ class PartitionServer:
                 return {"ok": True, "queued": depth}
             if op == "stats":
                 return {"ok": True, "stats": self.service.stats()}
+            if op == "health":
+                return {"ok": True, "health": self.service.health()}
             if op == "ping":
                 return {"ok": True}
             if op == "shutdown":

@@ -34,7 +34,7 @@ import sqlite3
 __all__ = ["SCHEMA_VERSION", "MIGRATIONS", "apply_migrations"]
 
 #: Version the code understands; bump together with a MIGRATIONS entry.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _V1_DDL = """
 CREATE TABLE graphs (
@@ -88,9 +88,27 @@ CREATE TABLE repair_traces (
 CREATE INDEX repair_traces_by_run ON repair_traces (run, batch);
 """
 
+# v2: frontier checkpoints of long partitioning runs (PR 9).  One row per
+# (run, level); the blob is a FrontierCheckpoint .npz, `meta` its identity
+# JSON.  INSERT OR REPLACE semantics give "newest checkpoint wins" per
+# level while keeping every level resumable.
+_V2_DDL = """
+CREATE TABLE checkpoints (
+    checkpoint_id INTEGER PRIMARY KEY,
+    run           TEXT NOT NULL,
+    level         INTEGER NOT NULL,
+    meta          TEXT NOT NULL,
+    data          BLOB NOT NULL,
+    created_at    TEXT NOT NULL,
+    UNIQUE (run, level)
+);
+CREATE INDEX checkpoints_by_run ON checkpoints (run, level);
+"""
+
 #: ``MIGRATIONS[v]`` upgrades a database at version ``v`` to ``v + 1``.
 MIGRATIONS: dict[int, str] = {
     0: _V1_DDL,
+    1: _V2_DDL,
 }
 
 

@@ -16,6 +16,7 @@ can read while a replay experiment appends metrics.
 from __future__ import annotations
 
 import io
+import json
 import sqlite3
 from dataclasses import dataclass
 from datetime import datetime, timezone
@@ -96,13 +97,20 @@ class PartitionStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        self._conn.execute("PRAGMA journal_mode = WAL")
         try:
+            self._conn.execute("PRAGMA foreign_keys = ON")
+            self._conn.execute("PRAGMA journal_mode = WAL")
             apply_migrations(self._conn)
         except RuntimeError as error:
             self._conn.close()
             raise StoreError(str(error)) from error
+        except sqlite3.DatabaseError as error:
+            # Not a sqlite file at all, or a torn one: an operator error
+            # (wrong path) or disk corruption — either way a clean
+            # StoreError, not a traceback.
+            self._conn.close()
+            raise StoreError(f"store {self.path} is not a valid partition "
+                             f"store ({error})") from error
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -336,10 +344,57 @@ class PartitionStore:
                  if key not in ("trace_id", "run")} for row in rows]
 
     # ------------------------------------------------------------------ #
+    # Frontier checkpoints (crash/resume of long partitioning runs)
+    # ------------------------------------------------------------------ #
+    def put_checkpoint(self, run: str, checkpoint) -> None:
+        """Persist a :class:`~repro.core.checkpoint.FrontierCheckpoint`.
+
+        One row per ``(run, level)``, replaced atomically on conflict —
+        a crash mid-write leaves the previous checkpoint intact (single
+        sqlite transaction), so there is always a consistent newest
+        checkpoint to resume from.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO checkpoints (run, level, meta, data,"
+                " created_at) VALUES (?, ?, ?, ?, ?)",
+                (run, int(checkpoint.level), json.dumps(checkpoint.meta),
+                 checkpoint.to_bytes(), _utcnow()))
+
+    def get_checkpoint(self, run: str, level: int | None = None):
+        """Load a checkpoint of ``run`` — the newest (highest level) by
+        default, or the exact ``level`` when given."""
+        from ..core.checkpoint import FrontierCheckpoint
+
+        if level is None:
+            row = self._conn.execute(
+                "SELECT * FROM checkpoints WHERE run = ? "
+                "ORDER BY level DESC LIMIT 1", (run,)).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT * FROM checkpoints WHERE run = ? AND level = ?",
+                (run, int(level))).fetchone()
+        if row is None:
+            known = ", ".join(str(lvl) for lvl in self.checkpoint_levels(run)) or "none"
+            raise StoreError(f"no checkpoint for run {run!r}"
+                             + (f" at level {level}" if level is not None else "")
+                             + f" in {self.path} (stored levels: {known})")
+        return FrontierCheckpoint.from_bytes(row["data"],
+                                             meta=json.loads(row["meta"]))
+
+    def checkpoint_levels(self, run: str) -> list[int]:
+        """Stored checkpoint levels of ``run``, ascending."""
+        rows = self._conn.execute(
+            "SELECT level FROM checkpoints WHERE run = ? ORDER BY level",
+            (run,)).fetchall()
+        return [int(row["level"]) for row in rows]
+
+    # ------------------------------------------------------------------ #
     def counts(self) -> dict[str, int]:
         """Row counts per table (the ``repro store ls`` summary)."""
         result = {}
-        for table in ("graphs", "assignments", "metrics", "repair_traces"):
+        for table in ("graphs", "assignments", "metrics", "repair_traces",
+                      "checkpoints"):
             result[table] = int(self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0])
         result["schema_version"] = self.schema_version

@@ -371,3 +371,133 @@ class TestServeCommand:
         assert main(["serve", "run", str(tmp_path / "nope.sqlite"),
                      "g", "initial"]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_run_rejects_corrupt_store(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.sqlite"
+        corrupt.write_bytes(b"definitely not sqlite\x00" * 64)
+        assert main(["serve", "run", str(corrupt), "g", "initial"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a valid partition store" in err
+
+    def test_serve_run_rejects_bad_fault_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{broken", encoding="utf-8")
+        assert main(["serve", "run", str(tmp_path / "db.sqlite"), "g", "a",
+                     "--fault-plan", str(plan)]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_store_get_absent_assignment_fails_cleanly(self, graph_file,
+                                                       tmp_path, capsys):
+        store = tmp_path / "store.sqlite"
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "put", str(store), "g", str(graph_file)]) == 0
+        capsys.readouterr()
+        assert main(["store", "get", str(store), "g",
+                     "--assignment-name", "absent"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "absent" in err
+
+
+class TestResilienceCLI:
+    """Checkpoint/resume, fault plans and the chaos command."""
+
+    def test_partition_resilience_parser_defaults(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.task_timeout is None
+        assert args.task_retries is None
+        assert args.checkpoint_store is None
+        assert args.checkpoint_every == 1
+        assert args.resume is False
+        assert args.fault_plan is None
+
+    def test_serve_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "chaos"])
+        assert args.fault_plan is None
+        assert args.vertices == 300
+        assert args.parts == 4
+        assert args.json is None
+
+    def test_resume_requires_checkpoint_store(self, graph_file, capsys):
+        assert main(["partition", str(graph_file), "--resume"]) == 2
+        assert "--resume needs --checkpoint-store" in capsys.readouterr().err
+
+    def test_checkpointing_requires_gd(self, graph_file, tmp_path, capsys):
+        assert main(["partition", str(graph_file), "--algorithm", "hash",
+                     "--checkpoint-store",
+                     str(tmp_path / "ckpt.sqlite")]) == 2
+        assert "only supported for --algorithm gd" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_fails_cleanly(self, graph_file, tmp_path,
+                                                capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("[not, an, object]", encoding="utf-8")
+        assert main(["partition", str(graph_file),
+                     "--fault-plan", str(plan)]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_killed_run_resumes_bit_identically(self, graph_file, tmp_path,
+                                                capsys):
+        """The operator workflow end to end: a checkpointed run dies at
+        wave 2 (injected), `--resume` replays from the stored checkpoint,
+        and the assignment matches an uninterrupted run's bits."""
+        import json
+
+        reference = tmp_path / "reference.txt"
+        base = ["partition", str(graph_file), "--parts", "8",
+                "--iterations", "10", "--seed", "5"]
+        assert main(base + ["--output", str(reference)]) == 0
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"faults": [
+            {"site": "recursive.wave", "label": "level=2", "at": None,
+             "message": "injected kill"}]}), encoding="utf-8")
+        store = tmp_path / "ckpt.sqlite"
+        capsys.readouterr()
+        assert main(base + ["--checkpoint-store", str(store),
+                            "--checkpoint-run", "demo",
+                            "--fault-plan", str(plan)]) == 2
+        assert "injected kill" in capsys.readouterr().err
+
+        resumed = tmp_path / "resumed.txt"
+        assert main(base + ["--checkpoint-store", str(store),
+                            "--checkpoint-run", "demo", "--resume",
+                            "--output", str(resumed)]) == 0
+        assert "resuming run 'demo' from checkpoint level 2" \
+            in capsys.readouterr().out
+        np.testing.assert_array_equal(read_partition(resumed),
+                                      read_partition(reference))
+
+    def test_resume_without_stored_checkpoint_fails_cleanly(self, graph_file,
+                                                            tmp_path, capsys):
+        store = tmp_path / "ckpt.sqlite"
+        assert main(["store", "init", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["partition", str(graph_file),
+                     "--checkpoint-store", str(store), "--resume"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_task_flags_flow_into_config(self, graph_file, capsys):
+        """--task-timeout / --task-retries parse and the run still
+        completes (inline path: no pool to time out)."""
+        assert main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "10", "--task-timeout", "30",
+                     "--task-retries", "1"]) == 0
+        assert "edge locality" in capsys.readouterr().out
+
+    def test_serve_chaos_reports_recovery(self, tmp_path, capsys):
+        """The chaos lane's entry point: seeded storm, exit 0, greppable
+        verdict, JSON report with the recovery counters."""
+        import json
+
+        report_file = tmp_path / "chaos.json"
+        assert main(["serve", "chaos", "--vertices", "200",
+                     "--json", str(report_file)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict           recovered" in out
+        report = json.loads(report_file.read_text(encoding="utf-8"))
+        assert report["recovered"] is True
+        assert report["failed_lookups"] == 0
+        assert report["repair_recoveries"] == 2
+        assert report["health_sequence"][0] == "ok"
+        assert "degraded" in report["health_sequence"]

@@ -24,6 +24,8 @@ from repro.core import (
     recursive_bisection,
     task_seed,
 )
+from repro.core.executor import ExecutorTaskError
+from repro.faults import FaultPlan, FaultSpec, inject
 from repro.graphs import Graph, fb_like, standard_weights
 from repro.partition import imbalance
 
@@ -61,6 +63,107 @@ def test_executor_single_task_bypasses_pool():
     # No pool should have been spun up for a single task.
     assert executor._pool is None
     executor.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Failure paths: retries, timeouts, pool rebuilds, terminal errors
+# --------------------------------------------------------------------- #
+def _fault_at(label: str, **kwargs) -> FaultPlan:
+    """A plan that hits ``executor.task`` for one task label (first
+    execution only, unless overridden)."""
+    return FaultPlan(faults=(FaultSpec(site="executor.task", at=None,
+                                       label=label, **kwargs),))
+
+
+def test_executor_rejects_bad_resilience_knobs():
+    with pytest.raises(ValueError, match="task_timeout_seconds"):
+        BisectionExecutor("thread", task_timeout_seconds=0.0)
+    with pytest.raises(ValueError, match="task_retries"):
+        BisectionExecutor("thread", task_retries=-1)
+
+
+@pytest.mark.parametrize("parallelism", ["serial", "thread", "process"])
+def test_injected_failure_is_retried_to_the_same_results(parallelism):
+    """One task raises on its first execution; the retry recovers and the
+    results are indistinguishable from a clean run (thread/process parity
+    with serial included)."""
+    expected = [i * i for i in range(6)]
+    with inject(_fault_at("#3")) as registry:
+        with BisectionExecutor(parallelism, max_workers=2,
+                               task_retries=2) as executor:
+            results = executor.map(_square, list(range(6)))
+        assert results == expected
+        assert executor.stats.retries >= 1
+        if parallelism != "process":
+            # Pool *processes* fire in their own forked registry; the
+            # parent's audit log only sees in-process executions.
+            assert any(f.label == "#3" and f.attempt == 0
+                       for f in registry.fired)
+
+
+def test_terminal_failure_names_task_and_attempts():
+    """A permanent fault exhausts the retry budget; the error message
+    carries the task coordinate and the attempt count."""
+    plan = _fault_at("depth=1/part=0", attempt=None, message="boom")
+    with inject(plan):
+        executor = BisectionExecutor("serial", task_retries=2)
+        with pytest.raises(ExecutorTaskError,
+                           match=r"task depth=1/part=0 failed after "
+                                 r"3 attempt\(s\): boom"):
+            executor.map(_square, [1, 2], labels=["depth=0/part=0",
+                                                  "depth=1/part=0"])
+        assert executor.stats.retries == 2
+
+
+def test_thread_timeout_abandons_hung_thread_and_retries():
+    """A hung thread task trips the per-task timeout; the executor races
+    a fresh execution (attempt 1, which the default fault keying leaves
+    alone) and still returns every result in order."""
+    plan = _fault_at("#1", kind="hang", duration=5.0)
+    with inject(plan):
+        with BisectionExecutor("thread", max_workers=2,
+                               task_timeout_seconds=0.2,
+                               task_retries=2) as executor:
+            results = executor.map(_square, list(range(4)))
+        assert results == [i * i for i in range(4)]
+        assert executor.stats.timeouts >= 1
+        assert executor.stats.retries >= 1
+
+
+def test_process_crash_rebuilds_pool_and_recovers():
+    """A worker dying mid-task (hard ``os._exit``) breaks the pool; the
+    executor rebuilds it, resubmits the unfinished tasks, and the results
+    match a clean serial run bit for bit."""
+    with inject(_fault_at("#2", kind="crash")):
+        with BisectionExecutor("process", max_workers=2,
+                               task_retries=3) as executor:
+            results = executor.map(_square, list(range(5)))
+        assert results == [i * i for i in range(5)]
+        assert executor.stats.pool_rebuilds >= 1
+        assert executor.stats.retries >= 1
+
+
+def test_process_hang_times_out_and_rebuilds():
+    """A hung process worker cannot be joined; the timeout kills the pool
+    and the retry completes the wave."""
+    plan = _fault_at("#0", kind="hang", duration=30.0)
+    with inject(plan):
+        with BisectionExecutor("process", max_workers=2,
+                               task_timeout_seconds=0.5,
+                               task_retries=3) as executor:
+            results = executor.map(_square, list(range(3)))
+        assert results == [0, 1, 4]
+        assert executor.stats.timeouts >= 1
+        assert executor.stats.pool_rebuilds >= 1
+
+
+def test_inline_backends_do_not_enforce_timeouts():
+    """Serial runs cannot be interrupted: a slow task just finishes."""
+    plan = _fault_at("#0", kind="slow", duration=0.05)
+    with inject(plan):
+        executor = BisectionExecutor("serial", task_timeout_seconds=0.001)
+        assert executor.map(_square, [7]) == [49]
+        assert executor.stats.timeouts == 0
 
 
 # --------------------------------------------------------------------- #

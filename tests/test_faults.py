@@ -1,0 +1,209 @@
+"""Tests of the deterministic fault-injection framework.
+
+The contract under test: a :class:`FaultPlan` is plain, serializable
+data; arming it makes exactly the specified site invocations fail (and
+nothing else); a disarmed site is a no-op; and the registry's audit log
+records precisely what fired.  The resilience layers are tested against
+injected faults in ``test_chaos.py`` / ``test_executor.py`` /
+``test_serve.py`` — this module pins down the injection mechanics those
+tests stand on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm,
+    attempt_scope,
+    current_registry,
+    disarm,
+    fault_site,
+    inject,
+)
+
+
+# --------------------------------------------------------------------- #
+# FaultSpec validation and matching
+# --------------------------------------------------------------------- #
+def test_spec_rejects_bad_fields():
+    with pytest.raises(ValueError, match="site"):
+        FaultSpec(site="")
+    with pytest.raises(ValueError, match="kind"):
+        FaultSpec(site="s", kind="meteor")
+    with pytest.raises(ValueError, match="at"):
+        FaultSpec(site="s", at=-1)
+    with pytest.raises(ValueError, match="times"):
+        FaultSpec(site="s", times=0)
+    with pytest.raises(ValueError, match="duration"):
+        FaultSpec(site="s", kind="slow", duration=-0.1)
+
+
+def test_spec_invocation_window():
+    spec = FaultSpec(site="s", at=2, times=3)
+    fires = [spec.matches(n, None, 0) for n in range(7)]
+    assert fires == [False, False, True, True, True, False, False]
+
+
+def test_spec_any_invocation_when_at_is_none():
+    spec = FaultSpec(site="s", at=None)
+    assert all(spec.matches(n, None, 0) for n in (0, 5, 1000))
+
+
+def test_spec_label_and_attempt_filters():
+    spec = FaultSpec(site="s", at=None, label="depth=1/part=0")
+    assert spec.matches(0, "depth=1/part=0", 0)
+    assert not spec.matches(0, "depth=1/part=1", 0)
+    assert not spec.matches(0, None, 0)
+    # attempt defaults to 0: a retry (attempt 1) does not re-trip.
+    assert not spec.matches(0, "depth=1/part=0", 1)
+    permanent = FaultSpec(site="s", at=None, attempt=None)
+    assert permanent.matches(0, None, 0) and permanent.matches(0, None, 3)
+
+
+def test_spec_default_durations():
+    assert FaultSpec(site="s", kind="hang").sleep_seconds == 30.0
+    assert FaultSpec(site="s", kind="slow").sleep_seconds == 0.05
+    assert FaultSpec(site="s", kind="slow", duration=0.2).sleep_seconds == 0.2
+    assert FaultSpec(site="s", kind="exception").sleep_seconds == 0.0
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan: matching order, sites, serialization
+# --------------------------------------------------------------------- #
+def test_plan_first_matching_spec_wins():
+    first = FaultSpec(site="s", at=None, message="first")
+    second = FaultSpec(site="s", at=None, message="second")
+    plan = FaultPlan(faults=(first, second))
+    assert plan.match("s", 0, None, 0) is first
+    assert plan.match("other", 0, None, 0) is None
+
+
+def test_plan_sites_in_first_appearance_order():
+    plan = FaultPlan(faults=(FaultSpec(site="b"), FaultSpec(site="a"),
+                             FaultSpec(site="b", at=1)))
+    assert plan.sites == ("b", "a")
+
+
+def test_plan_accepts_list_of_faults():
+    plan = FaultPlan(faults=[FaultSpec(site="s")])
+    assert isinstance(plan.faults, tuple)
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_plan_json_round_trip(kind):
+    plan = FaultPlan(seed=7, faults=(
+        FaultSpec(site="serve.repair", kind=kind, at=1, times=2,
+                  label="level=2", attempt=None, duration=0.01,
+                  message="boom"),
+        FaultSpec(site="executor.task"),
+    ))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_from_file_round_trip(tmp_path):
+    plan = FaultPlan(seed=3, faults=(FaultSpec(site="s", at=None),))
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    assert FaultPlan.from_file(path) == plan
+
+
+@pytest.mark.parametrize("text", ["not json", "[1, 2]",
+                                  '{"faults": [{"site": "s", "zap": 1}]}',
+                                  '{"bogus": true}'])
+def test_plan_rejects_malformed_files(tmp_path, text):
+    path = tmp_path / "plan.json"
+    path.write_text(text, encoding="utf-8")
+    with pytest.raises(ValueError, match="fault plan|unknown"):
+        FaultPlan.from_file(path)
+
+
+def test_plan_from_missing_file_is_a_value_error(tmp_path):
+    with pytest.raises(ValueError, match="cannot load fault plan"):
+        FaultPlan.from_file(tmp_path / "absent.json")
+
+
+# --------------------------------------------------------------------- #
+# Registry: arming, counting, firing, audit log
+# --------------------------------------------------------------------- #
+def test_disarmed_site_is_a_no_op():
+    assert current_registry() is None
+    fault_site("anything", label="x")  # must not raise or count anything
+
+
+def test_inject_scopes_the_registry():
+    plan = FaultPlan(faults=(FaultSpec(site="s", at=1, message="second call"),))
+    with inject(plan) as registry:
+        assert current_registry() is registry
+        fault_site("s")  # invocation 0: clean
+        with pytest.raises(InjectedFault, match="second call"):
+            fault_site("s")  # invocation 1: fires
+        fault_site("s")  # invocation 2: window passed
+        assert registry.invocations("s") == 3
+        assert [f.invocation for f in registry.fired] == [1]
+        assert registry.fired[0].kind == "exception"
+    assert current_registry() is None
+    fault_site("s")  # disarmed again
+
+
+def test_double_arm_is_an_error():
+    arm(FaultPlan())
+    try:
+        with pytest.raises(RuntimeError, match="already armed"):
+            arm(FaultPlan())
+    finally:
+        disarm()
+    disarm()  # idempotent
+
+
+def test_label_keyed_fault_ignores_other_labels():
+    plan = FaultPlan(faults=(FaultSpec(site="s", at=None, label="target"),))
+    with inject(plan) as registry:
+        fault_site("s", label="other")
+        fault_site("s")
+        with pytest.raises(InjectedFault):
+            fault_site("s", label="target")
+    assert [f.label for f in registry.fired] == ["target"]
+
+
+def test_attempt_scope_gates_default_faults():
+    plan = FaultPlan(faults=(FaultSpec(site="s", at=None),))
+    with inject(plan):
+        with attempt_scope(1):
+            fault_site("s")  # retry execution: default attempt=0 skips
+        with pytest.raises(InjectedFault):
+            fault_site("s")  # first execution fires
+    # The scope restores the previous attempt on exit (nesting-safe).
+    with attempt_scope(2):
+        with attempt_scope(3):
+            pass
+        plan2 = FaultPlan(faults=(FaultSpec(site="t", at=None, attempt=2),))
+        with inject(plan2):
+            with pytest.raises(InjectedFault):
+                fault_site("t")
+
+
+def test_slow_fault_sleeps_then_continues():
+    plan = FaultPlan(faults=(FaultSpec(site="s", kind="slow", duration=0.01),))
+    with inject(plan) as registry:
+        fault_site("s")  # must return normally
+    assert registry.fired[0].kind == "slow"
+
+
+def test_counting_is_thread_safe():
+    plan = FaultPlan()  # no faults: pure counting
+    with inject(plan) as registry:
+        threads = [threading.Thread(target=lambda: [fault_site("s")
+                                                    for _ in range(200)])
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.invocations("s") == 8 * 200

@@ -13,11 +13,13 @@ import numpy as np
 import pytest
 
 from repro.core import GDConfig, recursive_bisection
+from repro.faults import FaultPlan, FaultSpec, inject
 from repro.graphs import power_law_cluster_graph, standard_weights
 from repro.serve import (
     PartitionServer,
     PartitionService,
     ServeConfig,
+    ServeError,
     ServiceClient,
     drive,
 )
@@ -295,3 +297,185 @@ class TestZipfSampling:
         with pytest.raises(ValueError):
             ServeConfig(epsilon=0.0)
         assert ServeConfig().with_updates(port=0).port == 0
+
+    def test_resilience_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(client_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(restart_backoff_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(restart_backoff_seconds=2.0,
+                        restart_backoff_max_seconds=1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_worker_restarts=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(escalation_threshold=0)
+        with pytest.raises(ValueError):
+            ServeConfig(degraded_lag_batches=0)
+        assert ServeConfig(client_timeout_seconds=None).client_timeout_seconds is None
+
+
+class TestSelfHealing:
+    """Supervisor restarts, circuit breaker, health verb, client resilience."""
+
+    def test_health_verb_over_tcp(self, serving_state):
+        async def scenario():
+            service = make_service(serving_state)
+            server = PartitionServer(service)
+            await server.start()
+            try:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    health = (await client.call("health"))["health"]
+                    assert health["status"] == "ok"
+                    assert health["worker_alive"] is True
+                    assert health["versions_behind"] == 0
+                    assert health["seconds_since_last_repair"] is None
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_supervisor_restarts_crashed_worker_without_losing_churn(
+            self, serving_state):
+        """The worker crashes while holding a batch; the restarted worker
+        re-processes that same batch — no churn lost, recovery counted."""
+        plan = FaultPlan(faults=(FaultSpec(site="serve.repair", at=0,
+                                           message="worker crash"),))
+
+        async def scenario():
+            service = make_service(serving_state,
+                                   restart_backoff_seconds=0.02,
+                                   restart_backoff_max_seconds=0.1)
+            with inject(plan):
+                await service.start()
+                try:
+                    await service.ingest_churn(0.02, seed=1)
+                    await service._queue.join()
+                finally:
+                    await service.stop()
+            stats = service.stats()
+            assert stats["batches_applied"] == 1
+            assert stats["worker_restarts"] == 1
+            assert stats["repair_recoveries"] == 1
+            assert service.version == 1
+            assert service.health()["status"] == "ok"
+
+        asyncio.run(scenario())
+
+    def test_circuit_breaker_escalates_to_full_recompute(self, serving_state):
+        """With the breaker threshold at 1, a failed absorb immediately
+        escalates: the partition is rebuilt from the live graph and
+        published, and the failure streak resets."""
+        plan = FaultPlan(faults=(FaultSpec(site="serve.absorb", at=0,
+                                           message="absorb failure"),))
+
+        async def scenario():
+            service = make_service(serving_state, escalation_threshold=1)
+            with inject(plan):
+                await service.start()
+                try:
+                    await service.ingest_churn(0.02, seed=2)
+                    await service._queue.join()
+                finally:
+                    await service.stop()
+            stats = service.stats()
+            assert stats["batches_failed"] == 1
+            assert stats["escalations"] == 1
+            assert stats["modes"].get("escalated") == 1
+            assert service.version == 1
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["consecutive_failures"] == 0
+
+        asyncio.run(scenario())
+
+    def test_repeated_crashes_exhaust_restarts_and_degrade(self, serving_state):
+        """Past ``max_worker_restarts`` the supervisor gives up: the
+        service reports itself degraded with the worker dead, but keeps
+        answering lookups."""
+        plan = FaultPlan(faults=(FaultSpec(site="serve.repair", at=0,
+                                           message="crash"),))
+
+        async def scenario():
+            service = make_service(serving_state, max_worker_restarts=0,
+                                   drain_seconds=0.2)
+            with inject(plan):
+                await service.start()
+                try:
+                    await service.ingest_churn(0.02, seed=3)
+                    for _ in range(200):
+                        if service._worker_dead:
+                            break
+                        await asyncio.sleep(0.01)
+                    health = service.health()
+                    assert health["status"] == "degraded"
+                    assert health["worker_alive"] is False
+                    parts, _ = service.lookup([0, 1, 2])
+                    assert parts.shape == (3,)
+                finally:
+                    await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_client_timeout_surfaces_as_serve_error(self):
+        """A hung server trips the client timeout instead of blocking
+        forever; the connection is dropped (stream desync)."""
+
+        async def scenario():
+            async def black_hole(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ServiceClient("127.0.0.1", port, timeout=0.1)
+            try:
+                await client.connect()
+                with pytest.raises(ServeError, match="timed out after 0.1s"):
+                    await client.request({"op": "ping"})
+                assert client._writer is None  # connection dropped
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_client_timeout_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ServiceClient("127.0.0.1", 1234, timeout=0.0)
+
+    def test_client_reconnects_after_connection_loss(self, serving_state):
+        """call() transparently reconnects once when the connection dies
+        under it (server restart / network blip)."""
+
+        async def scenario():
+            service = make_service(serving_state)
+            server = PartitionServer(service)
+            await server.start()
+            try:
+                client = ServiceClient("127.0.0.1", server.port, timeout=5.0)
+                await client.connect()
+                assert (await client.call("ping"))["ok"]
+                # Kill the transport under the client; the next call must
+                # reconnect and succeed rather than surface the breakage.
+                client._writer.transport.abort()
+                assert (await client.call("ping"))["ok"]
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_error_replies_raise_serve_error(self, serving_state):
+        async def scenario():
+            service = make_service(serving_state)
+            server = PartitionServer(service)
+            await server.start()
+            try:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ServeError, match="out of range"):
+                        await client.call("lookup", ids=[10**9])
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())

@@ -211,6 +211,89 @@ class TestSchemaVersioning:
             PartitionStore(path)
 
 
+class TestCheckpoints:
+    @pytest.fixture
+    def run_state(self):
+        from repro.core import GDConfig, recursive_bisection
+        from repro.graphs import standard_weights
+
+        graph = ring_of_cliques(4, 6)
+        weights = standard_weights(graph, 2)
+        config = GDConfig(iterations=8, seed=7)
+        checkpoints = []
+        partition = recursive_bisection(graph, weights, 4, 0.05, config,
+                                        checkpoint_sink=checkpoints.append)
+        return graph, weights, config, partition, checkpoints
+
+    def test_round_trip_and_resume(self, store, run_state):
+        from repro.core import recursive_bisection
+
+        graph, weights, config, partition, checkpoints = run_state
+        for checkpoint in checkpoints:
+            store.put_checkpoint("run", checkpoint)
+        assert store.checkpoint_levels("run") == [c.level for c in checkpoints]
+        newest = store.get_checkpoint("run")
+        assert newest.level == checkpoints[-1].level
+        np.testing.assert_array_equal(newest.assignment,
+                                      checkpoints[-1].assignment)
+        assert newest.meta == checkpoints[-1].meta
+        resumed = recursive_bisection(graph, weights, 4, 0.05, config,
+                                      resume_from=newest)
+        np.testing.assert_array_equal(resumed.assignment,
+                                      partition.assignment)
+
+    def test_get_specific_level(self, store, run_state):
+        *_, checkpoints = run_state
+        for checkpoint in checkpoints:
+            store.put_checkpoint("run", checkpoint)
+        first = store.get_checkpoint("run", level=checkpoints[0].level)
+        assert first.level == checkpoints[0].level
+
+    def test_replace_same_level_is_atomic(self, store, run_state):
+        *_, checkpoints = run_state
+        store.put_checkpoint("run", checkpoints[0])
+        store.put_checkpoint("run", checkpoints[0])  # INSERT OR REPLACE
+        assert store.checkpoint_levels("run") == [checkpoints[0].level]
+
+    def test_missing_checkpoint_names_stored_levels(self, store, run_state):
+        *_, checkpoints = run_state
+        with pytest.raises(StoreError, match="no checkpoint"):
+            store.get_checkpoint("run")
+        store.put_checkpoint("run", checkpoints[0])
+        with pytest.raises(StoreError, match=str(checkpoints[0].level)):
+            store.get_checkpoint("run", level=99)
+
+    def test_counts_include_checkpoints(self, store, run_state):
+        *_, checkpoints = run_state
+        store.put_checkpoint("run", checkpoints[0])
+        assert store.counts()["checkpoints"] == 1
+
+    def test_v1_store_migrates_to_v2(self, tmp_path, run_state):
+        """A pre-checkpoint store (schema v1) opens cleanly: the migration
+        adds the checkpoints table and preserves the existing contents."""
+        *_, checkpoints = run_state
+        path = tmp_path / "old.sqlite"
+        graph = ring_of_cliques(4, 6)
+        with PartitionStore(path) as store:
+            store.put_graph("g", graph)
+        connection = sqlite3.connect(path)
+        connection.execute("DROP TABLE checkpoints")
+        connection.execute("PRAGMA user_version = 1")
+        connection.commit()
+        connection.close()
+        with PartitionStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            _assert_graphs_identical(graph, store.get_graph("g"))
+            store.put_checkpoint("run", checkpoints[0])
+            assert store.get_checkpoint("run").level == checkpoints[0].level
+
+    def test_corrupt_file_is_a_store_error(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all\x00" * 40)
+        with pytest.raises(StoreError, match="not a valid partition store"):
+            PartitionStore(path)
+
+
 class TestChurnReplayPersistence:
     def test_trajectory_lands_in_the_store(self, tmp_path):
         """The churn-replay experiment persists graph, assignments, one
