@@ -37,9 +37,9 @@ Quickstart::
 Stable public surface
 ---------------------
 ``__all__`` below is the supported API: the top-level types and entry
-points (``Graph``, ``GDPartitioner``, ``GDConfig``, ``partition_graph``,
-``evaluate``, the store/serve entry points) plus the documented
-subpackages.  Everything else — in particular the solver internals under
+points (``Graph``, ``GDPartitioner``, ``GDConfig``, ``ExecutionConfig``,
+``partition_graph``, ``run``, ``evaluate``, the store/serve entry
+points) plus the documented subpackages.  Everything else — in particular the solver internals under
 :mod:`repro.core` (steppers, noise/step schedules, compaction, kernels)
 — is importable but may change between releases; such modules carry an
 "internal" note in their docstring.
@@ -57,8 +57,8 @@ from . import (
     serve,
     store,
 )
-from .api import evaluate, partition_graph
-from .core import GDConfig, GDPartitioner
+from .api import RunResult, evaluate, partition_graph, run
+from .core import ExecutionConfig, GDConfig, GDPartitioner
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .graphs import Graph, load_dataset, standard_weights, weight_matrix
 from .partition import Partition, edge_locality, imbalance, is_epsilon_balanced, max_imbalance
@@ -81,10 +81,13 @@ __all__ = [
     "partition",
     "serve",
     "store",
+    "ExecutionConfig",
     "GDConfig",
     "GDPartitioner",
     "partition_graph",
     "evaluate",
+    "run",
+    "RunResult",
     "Graph",
     "load_dataset",
     "standard_weights",

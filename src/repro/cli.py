@@ -59,6 +59,7 @@ from .baselines import (
     SpinnerPartitioner,
 )
 from .core import (
+    ExecutionConfig,
     GDConfig,
     GDPartitioner,
     KERNEL_BACKENDS,
@@ -132,15 +133,23 @@ def build_parser() -> argparse.ArgumentParser:
                                 "methods, and agree to solver tolerance for dykstra)")
     partition.add_argument("--parallelism", choices=PARALLELISM_MODES, default="serial",
                            help="execution backend for recursive k-way GD: serial, "
-                                "thread/process pools, or batched (each recursion "
-                                "level solved in lock-step as one vectorized "
-                                "block-diagonal solve — fastest on a single core; "
-                                "bit-identical output across backends for a fixed "
-                                "seed)")
+                                "thread/process pools, shm (a process pool fed "
+                                "through zero-copy shared-memory wave arenas — "
+                                "fastest multi-core backend), or batched (each "
+                                "recursion level solved in lock-step as one "
+                                "vectorized block-diagonal solve — fastest on a "
+                                "single core; bit-identical output across "
+                                "backends for a fixed seed)")
     partition.add_argument("--workers", type=int, default=None, metavar="N",
-                           help="worker count for --parallelism thread/process "
+                           help="worker count for --parallelism thread/process/shm "
                                 "(default: let the pool decide; ignored by "
-                                "serial/batched)")
+                                "serial/batched — a warning is printed)")
+    partition.add_argument("--shm-min-wave-tasks", type=int, default=None,
+                           metavar="N",
+                           help="smallest frontier the shm backend packs into a "
+                                "shared-memory arena; smaller waves run through "
+                                "the ordinary task path (default from "
+                                "ExecutionConfig)")
     partition.add_argument("--multilevel", action=argparse.BooleanOptionalAction,
                            default=False,
                            help="solve each bisection as a coarsen-solve-refine "
@@ -405,10 +414,14 @@ def _run_partition(args: argparse.Namespace) -> int:
         return _fail(str(error))
     if args.algorithm == "gd":
         # Every GDConfig-shaped flag (iterations, seed, projection method,
-        # parallelism, multilevel knobs, kernel backend, task timeout and
-        # retry budget, ...) flows through the shared from_args convention;
-        # absent optional flags fall back to the field defaults.
-        config = GDConfig.from_args(args)
+        # multilevel knobs, kernel backend, ...) flows through the shared
+        # from_args convention; the execution flags (parallelism, workers,
+        # task timeout/retry budget, shm knobs) build the nested
+        # ExecutionConfig the same way.  Absent optional flags fall back
+        # to the field defaults.
+        _warn_ignored_workers(args)
+        config = GDConfig.from_args(args,
+                                    execution=ExecutionConfig.from_args(args))
         partitioner = GDPartitioner(epsilon=args.epsilon, config=config)
     else:
         partitioner = (_ALGORITHMS[args.algorithm](seed=args.seed)
@@ -453,6 +466,21 @@ def _partition_with_checkpoints(args: argparse.Namespace, graph, weights,
             checkpoint_sink=lambda checkpoint: store.put_checkpoint(run, checkpoint),
             checkpoint_every=args.checkpoint_every,
             resume_from=resume_from)
+
+
+def _warn_ignored_workers(args: argparse.Namespace) -> None:
+    """One-line heads-up when --workers cannot take effect.
+
+    The serial and batched backends run in the coordinating process, so
+    a worker count silently doing nothing is an operator surprise worth
+    a warning (not an error: scripted sweeps legitimately hold --workers
+    fixed while varying --parallelism)."""
+    workers = getattr(args, "workers", None)
+    parallelism = getattr(args, "parallelism", "serial")
+    if workers is not None and parallelism in ("serial", "batched"):
+        print(f"warning: --workers {workers} is ignored with --parallelism "
+              f"{parallelism} (worker pools exist only for thread/process/shm)",
+              file=sys.stderr)
 
 
 def _fail(message: str) -> int:
@@ -512,8 +540,11 @@ def _run_repartition(args: argparse.Namespace) -> int:
         return _fail(str(error))
 
     # --hops/--damage-threshold/--repair-iterations map onto the
-    # repartition_* fields via GDConfig._ARG_ALIASES.
-    config = GDConfig.from_args(args)
+    # repartition_* fields via GDConfig._ARG_ALIASES; --parallelism and
+    # --workers build the nested ExecutionConfig.
+    _warn_ignored_workers(args)
+    config = GDConfig.from_args(args,
+                                execution=ExecutionConfig.from_args(args))
     dynamic = DynamicGraph(graph, weights)
     repartitioner = IncrementalRepartitioner(dynamic, assignment, num_parts,
                                              epsilon=args.epsilon, config=config)

@@ -2,14 +2,17 @@
 
 from .config import (
     ConfigIO,
+    ExecutionConfig,
     GDConfig,
     KERNEL_BACKENDS,
     PARALLELISM_MODES,
     PROJECTION_METHODS,
+    install_move_shims,
     install_rename_shims,
 )
 from .checkpoint import CheckpointMismatch, FrontierCheckpoint, TaskState
-from .executor import BisectionExecutor, ExecutorTaskError, task_seed
+from .executor import BisectionExecutor, ExecutorStats, ExecutorTaskError, task_seed
+from .shm import SharedGraphArena, ShmStats, ShmWaveStats
 from .kernels import (
     Fused32Backend,
     FusedBackend,
@@ -50,14 +53,20 @@ from .projection import (
 
 __all__ = [
     "ConfigIO",
+    "ExecutionConfig",
     "GDConfig",
     "KERNEL_BACKENDS",
     "PARALLELISM_MODES",
     "PROJECTION_METHODS",
+    "install_move_shims",
     "install_rename_shims",
     "BisectionExecutor",
+    "ExecutorStats",
     "ExecutorTaskError",
     "task_seed",
+    "SharedGraphArena",
+    "ShmStats",
+    "ShmWaveStats",
     "CheckpointMismatch",
     "FrontierCheckpoint",
     "TaskState",

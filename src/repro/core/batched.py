@@ -78,8 +78,8 @@ class FrontierTask:
 
     Structurally identical to the subproblems the recursive scheduler
     ships to its workers; ``config.seed`` is the task's deterministic
-    per-subproblem seed.  The ``config.parallelism`` / ``max_workers``
-    fields are ignored — the frontier is the unit of parallelism.
+    per-subproblem seed.  The ``config.execution`` sub-config is
+    ignored — the frontier is the unit of parallelism.
     """
 
     subgraph: Graph
@@ -137,11 +137,10 @@ class BatchedFrontierSolver:
             raise ValueError("at least one frontier task is required")
         reference = self._tasks[0].config
         for task in self._tasks[1:]:
-            # Seed is per-task by design; parallelism/max_workers are
-            # documented as ignored, so they do not break uniformity.
+            # Seed is per-task by design; the execution sub-config is
+            # documented as ignored, so it does not break uniformity.
             normalized = task.config.with_updates(
-                seed=reference.seed, parallelism=reference.parallelism,
-                max_workers=reference.max_workers)
+                seed=reference.seed, execution=reference.execution)
             if normalized != reference:
                 raise ValueError(
                     "all frontier tasks must share one GDConfig up to the seed "

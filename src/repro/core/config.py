@@ -22,10 +22,12 @@ from .kernels import KERNEL_BACKENDS
 
 __all__ = [
     "ConfigIO",
+    "ExecutionConfig",
     "GDConfig",
     "KERNEL_BACKENDS",
     "PARALLELISM_MODES",
     "PROJECTION_METHODS",
+    "install_move_shims",
     "install_rename_shims",
 ]
 
@@ -37,12 +39,13 @@ PROJECTION_METHODS = (
     "dykstra",
 )
 
-#: Execution backends accepted by :class:`GDConfig.parallelism`.
+#: Execution backends accepted by :class:`ExecutionConfig.parallelism`.
 PARALLELISM_MODES = (
     "serial",
     "thread",
     "process",
     "batched",
+    "shm",
 )
 
 
@@ -129,21 +132,107 @@ def install_rename_shims(cls, renames: dict[str, str]):
     return cls
 
 
+def install_move_shims(cls, nested_field: str, nested_cls, moved: tuple[str, ...]):
+    """Make fields that moved into a nested config accept their old flat names.
+
+    The counterpart of :func:`install_rename_shims` for fields that were
+    *extracted* into a sub-config (``GDConfig.parallelism`` →
+    ``GDConfig.execution.parallelism``).  The generated ``__init__`` is
+    wrapped so old flat keywords are collected into a fresh ``nested_cls``
+    instance (emitting a :class:`DeprecationWarning`; passing a flat name
+    *and* ``nested_field=`` together is a :class:`TypeError`), read-only
+    forwarding properties are added for the old attribute paths, and
+    ``with_updates`` remaps flat names onto
+    ``nested_field=self.<nested_field>.with_updates(...)``.
+    """
+
+    def _warn(name: str) -> None:
+        warnings.warn(
+            f"{cls.__name__} field {name!r} moved to "
+            f"{cls.__name__}.{nested_field}.{name}; pass "
+            f"{nested_field}={nested_cls.__name__}({name}=...) instead — "
+            f"the flat name will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _take(kwargs: dict, where: str) -> dict:
+        taken = {name: kwargs.pop(name) for name in moved if name in kwargs}
+        if taken and nested_field in kwargs:
+            raise TypeError(
+                f"{where} got values for both {sorted(taken)} and the "
+                f"{nested_field!r} config they moved into")
+        for name in taken:
+            _warn(name)
+        return taken
+
+    original_init = cls.__init__
+
+    @functools.wraps(original_init)
+    def __init__(self, *args, **kwargs):
+        taken = _take(kwargs, f"{cls.__name__}()")
+        if taken:
+            kwargs[nested_field] = nested_cls(**taken)
+        original_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    # from_args support: where the flat names went, and which argparse
+    # dests used to reach them (the nested class's aliases restricted to
+    # the moved names).
+    cls._MOVED_INTO = nested_field
+    cls._MOVED_ARG_ALIASES = {dest: name
+                              for dest, name in nested_cls._ARG_ALIASES.items()
+                              if name in moved}
+
+    def _make_alias(name: str) -> property:
+        def getter(self):
+            _warn(name)
+            return getattr(getattr(self, nested_field), name)
+
+        getter.__doc__ = f"Deprecated alias of :attr:`{nested_field}.{name}`."
+        return property(getter)
+
+    for name in moved:
+        setattr(cls, name, _make_alias(name))
+
+    original_with_updates = cls.with_updates
+
+    @functools.wraps(original_with_updates)
+    def with_updates(self, **changes):
+        taken = _take(changes, f"{cls.__name__}.with_updates()")
+        if taken:
+            changes[nested_field] = getattr(self, nested_field).with_updates(**taken)
+        return original_with_updates(self, **changes)
+
+    cls.with_updates = with_updates
+    return cls
+
+
 class ConfigIO:
     """Shared construction/serialization convention of config dataclasses.
 
     Subclasses may override :attr:`_ARG_ALIASES` (argparse ``dest`` →
-    field name) and :attr:`_RENAMED_FIELDS` (deprecated field name → new
-    name, accepted by :meth:`from_dict` with a warning).
+    field name), :attr:`_RENAMED_FIELDS` (deprecated field name → new
+    name, accepted by :meth:`from_dict` with a warning) and
+    :attr:`_MOVED_FIELDS` (flat names that moved into a nested config —
+    see :func:`install_move_shims` — which :meth:`from_dict` forwards to
+    the constructor so old serialized configs keep loading).
     """
 
     _ARG_ALIASES: dict[str, str] = {}
     _RENAMED_FIELDS: dict[str, str] = {}
+    _MOVED_FIELDS: tuple[str, ...] = ()
+    #: Set by :func:`install_move_shims`: the nested field the moved
+    #: names live in now, and the argparse dests that used to reach them.
+    _MOVED_INTO: str | None = None
+    _MOVED_ARG_ALIASES: dict[str, str] = {}
 
     def to_dict(self) -> dict:
         """All fields as a JSON-serializable dict (round-trips through
-        :meth:`from_dict`)."""
-        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        :meth:`from_dict`).  Nested :class:`ConfigIO` fields recurse."""
+        return {f.name: (value.to_dict() if isinstance(value := getattr(self, f.name),
+                                                       ConfigIO) else value)
+                for f in dataclasses.fields(self)}
 
     @classmethod
     def from_dict(cls, mapping: dict):
@@ -158,7 +247,7 @@ class ConfigIO:
                     stacklevel=2,
                 )
                 values[new] = values.pop(old)
-        known = {f.name for f in dataclasses.fields(cls)}
+        known = {f.name for f in dataclasses.fields(cls)} | set(cls._MOVED_FIELDS)
         unknown = sorted(set(values) - known)
         if unknown:
             raise ValueError(f"unknown {cls.__name__} fields: {', '.join(unknown)}")
@@ -172,15 +261,124 @@ class ConfigIO:
         matches a field are taken; ``None`` values are skipped so absent
         optional flags fall back to the field defaults.  ``overrides``
         win over namespace values.
+
+        Moved fields (:func:`install_move_shims`) are still collected —
+        through their old aliases — and routed into the nested config by
+        the constructor shim, *unless* the caller passes the nested
+        config itself as an override (then the caller owns the routing,
+        as the CLI does with ``execution=ExecutionConfig.from_args(...)``).
         """
         known = {f.name for f in dataclasses.fields(cls)}
+        take_moved = cls._MOVED_INTO is not None and cls._MOVED_INTO not in overrides
+        if take_moved:
+            known |= set(cls._MOVED_FIELDS)
         values = {}
         for dest, value in vars(namespace).items():
             name = cls._ARG_ALIASES.get(dest, dest)
+            if take_moved:
+                name = cls._MOVED_ARG_ALIASES.get(dest, name)
             if name in known and value is not None:
                 values[name] = value
         values.update(overrides)
         return cls(**values)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig(ConfigIO):
+    """How the recursive k-way scheduler executes its bisection frontier.
+
+    Extracted from :class:`GDConfig` so that execution concerns (which
+    machine resources to use, how to survive worker failures) evolve
+    independently of the algorithm parameters.  The old flat
+    ``GDConfig`` names keep working for one release via
+    :func:`install_move_shims` (``GDConfig(parallelism=...)`` warns and
+    forwards here; passing a flat name *and* ``execution=`` raises).
+
+    Attributes
+    ----------
+    parallelism:
+        Execution backend used by :func:`repro.core.recursive_bisection`
+        to run independent sub-bisections of the recursion tree:
+        ``"serial"`` (in-process, the default), ``"thread"`` (a
+        :class:`~concurrent.futures.ThreadPoolExecutor`; the numpy/scipy
+        kernels release the GIL), ``"process"`` (a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; each task's
+        subgraph is pickled to its worker), ``"shm"`` (a process pool fed
+        through :mod:`multiprocessing.shared_memory`: every wave's CSR,
+        weights and output buffers live in one shared segment that
+        workers attach zero-copy, so only task coordinates cross the
+        pipe — see :mod:`repro.core.shm`), or ``"batched"`` (advance
+        each level's whole frontier in lock-step as one vectorized
+        block-diagonal solve — single-process, so it speeds up even a
+        one-core machine; see
+        :class:`~repro.core.batched.BatchedFrontierSolver`).  All
+        backends produce bit-identical partitions for a fixed
+        ``GDConfig.seed``.
+    max_workers:
+        Worker count for the thread/process/shm backends; ``None`` lets
+        :mod:`concurrent.futures` pick a machine-dependent default.
+        Ignored when ``parallelism`` is ``"serial"`` or ``"batched"``.
+    task_timeout_seconds:
+        Per-task wall-clock budget on the pool backends.  A task that
+        exceeds it is treated exactly like a task that raised: retried
+        up to ``task_retries`` times (the process-pool backends kill and
+        rebuild the pool first, since a hung worker cannot be reclaimed
+        any other way).  ``None`` (the default) waits forever.  Ignored
+        by the serial and batched backends, which run in the
+        coordinating process.
+    task_retries:
+        How many times a failed or timed-out task is re-executed before
+        the run fails with :class:`~repro.core.executor.ExecutorTaskError`.
+        Retries are deterministic: the task's RNG seed is a pure function
+        of its recursion-tree coordinate
+        (:func:`~repro.core.executor.task_seed`), so a retry replays
+        bit-identical work.
+    shm_min_wave_tasks:
+        Smallest frontier the ``"shm"`` backend ships through a shared
+        segment.  Waves with fewer tasks (notably the single root task)
+        skip the arena and run through the ordinary task path — packing
+        a segment for one task costs more than it saves.
+    shm_segment_prefix:
+        Name prefix of the shared-memory segments (suffixed with the
+        coordinator pid and a per-wave counter).  Keep it short: POSIX
+        caps shared-memory names at 31 characters on some platforms.
+    """
+
+    parallelism: str = "serial"
+    max_workers: int | None = None
+    task_timeout_seconds: float | None = None
+    task_retries: int = 2
+    shm_min_wave_tasks: int = 2
+    shm_segment_prefix: str = "repro-shm"
+
+    _ARG_ALIASES = {
+        "workers": "max_workers",
+        "task_timeout": "task_timeout_seconds",
+    }
+
+    def __post_init__(self) -> None:
+        if self.parallelism not in PARALLELISM_MODES:
+            raise ValueError(f"parallelism must be one of {PARALLELISM_MODES}, "
+                             f"got {self.parallelism!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1 when given")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ValueError("task_timeout_seconds must be positive when given")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
+        if self.shm_min_wave_tasks < 1:
+            raise ValueError("shm_min_wave_tasks must be at least 1")
+        if (not self.shm_segment_prefix
+                or not self.shm_segment_prefix.replace("-", "").replace("_", "").isalnum()):
+            raise ValueError("shm_segment_prefix must be a non-empty "
+                             "alphanumeric/dash/underscore string")
+        if len(self.shm_segment_prefix) > 16:
+            raise ValueError("shm_segment_prefix must be at most 16 characters "
+                             "(POSIX shared-memory names are length-limited)")
+
+    def with_updates(self, **changes) -> "ExecutionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -261,22 +459,14 @@ class GDConfig(ConfigIO):
         convergence figures 8--10 and 15--17).
     seed:
         Seed of the random number generator (noise and rounding).
-    parallelism:
-        Execution backend used by :func:`repro.core.recursive_bisection` to
-        run independent sub-bisections of the recursion tree: ``"serial"``
-        (in-process, the default), ``"thread"`` (a
-        :class:`~concurrent.futures.ThreadPoolExecutor`; the numpy/scipy
-        kernels release the GIL), ``"process"`` (a
-        :class:`~concurrent.futures.ProcessPoolExecutor`), or
-        ``"batched"`` (advance each level's whole frontier in lock-step as
-        one vectorized block-diagonal solve — single-process, so it speeds
-        up even a one-core machine; see
-        :class:`~repro.core.batched.BatchedFrontierSolver`).  All backends
-        produce bit-identical partitions for a fixed ``seed``.
-    max_workers:
-        Worker count for the thread/process backends; ``None`` lets
-        :mod:`concurrent.futures` pick a machine-dependent default.
-        Ignored when ``parallelism`` is ``"serial"`` or ``"batched"``.
+    execution:
+        The :class:`ExecutionConfig` of the recursive k-way scheduler —
+        parallelism backend, worker count, per-task timeout/retry
+        budgets and the shared-memory knobs.  The old flat fields
+        (``parallelism``, ``max_workers``, ``task_timeout_seconds``,
+        ``task_retries``) keep working for one release with a
+        :class:`DeprecationWarning`; passing a flat name together with
+        ``execution=`` is a :class:`TypeError`.
     multilevel:
         Solve each bisection through the multilevel V-cycle
         (:mod:`repro.core.multilevel`): coarsen the graph by heavy-edge
@@ -331,20 +521,6 @@ class GDConfig(ConfigIO):
         previous (integral) assignment with most vertices frozen, so a
         short compacted budget suffices — this is the lever behind the
         repair-vs-recompute work ratio.
-    task_timeout_seconds:
-        Per-task wall-clock budget on the thread/process backends.  A
-        task that exceeds it is treated exactly like a task that raised:
-        retried up to ``task_retries`` times (the process backend kills
-        and rebuilds the pool first, since a hung worker cannot be
-        reclaimed any other way).  ``None`` (the default) waits forever,
-        the pre-resilience behavior.  Ignored by the serial and batched
-        backends, which run in the coordinating process.
-    task_retries:
-        How many times a failed or timed-out task is re-executed before
-        the run fails with :class:`~repro.core.executor.ExecutorTaskError`.
-        Retries are deterministic: the task's RNG seed is a pure function
-        of its recursion-tree coordinate (:func:`~repro.core.executor.task_seed`),
-        so a retry replays bit-identical work.
     """
 
     iterations: int = 100
@@ -363,8 +539,7 @@ class GDConfig(ConfigIO):
     balance_repair: bool = True
     record_history: bool = False
     seed: int = 0
-    parallelism: str = "serial"
-    max_workers: int | None = None
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     multilevel: bool = False
     coarsest_size: int = 512
     refinement_iterations: int = 10
@@ -372,17 +547,15 @@ class GDConfig(ConfigIO):
     repartition_hops: int = 2
     repartition_damage_threshold: float = 0.05
     repartition_iterations: int = 10
-    task_timeout_seconds: float | None = None
-    task_retries: int = 2
 
     _ARG_ALIASES = {
-        "workers": "max_workers",
         "hops": "repartition_hops",
         "damage_threshold": "repartition_damage_threshold",
         "repair_iterations": "repartition_iterations",
-        "task_timeout": "task_timeout_seconds",
     }
     _RENAMED_FIELDS = {"projection": "projection_method"}
+    _MOVED_FIELDS = ("parallelism", "max_workers",
+                     "task_timeout_seconds", "task_retries")
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -403,11 +576,14 @@ class GDConfig(ConfigIO):
                              f"got {self.kernel_backend!r}")
         if self.final_projection_rounds < 0:
             raise ValueError("final_projection_rounds must be non-negative")
-        if self.parallelism not in PARALLELISM_MODES:
-            raise ValueError(f"parallelism must be one of {PARALLELISM_MODES}, "
-                             f"got {self.parallelism!r}")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError("max_workers must be at least 1 when given")
+        if isinstance(self.execution, dict):
+            # from_dict hands the nested mapping through verbatim; coerce it
+            # here so round-tripped configs rebuild their ExecutionConfig.
+            object.__setattr__(self, "execution",
+                               ExecutionConfig.from_dict(self.execution))
+        if not isinstance(self.execution, ExecutionConfig):
+            raise TypeError("execution must be an ExecutionConfig "
+                            f"(got {type(self.execution).__name__})")
         if self.coarsest_size < 8:
             raise ValueError("coarsest_size must be at least 8")
         if self.refinement_iterations < 1:
@@ -418,10 +594,6 @@ class GDConfig(ConfigIO):
             raise ValueError("repartition_damage_threshold must be positive")
         if self.repartition_iterations < 1:
             raise ValueError("repartition_iterations must be at least 1")
-        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
-            raise ValueError("task_timeout_seconds must be positive when given")
-        if self.task_retries < 0:
-            raise ValueError("task_retries must be non-negative")
 
     def with_updates(self, **changes) -> "GDConfig":
         """Return a copy with the given fields replaced."""
@@ -429,3 +601,6 @@ class GDConfig(ConfigIO):
 
 
 install_rename_shims(GDConfig, {"projection": "projection_method"})
+install_move_shims(GDConfig, "execution", ExecutionConfig,
+                   ("parallelism", "max_workers",
+                    "task_timeout_seconds", "task_retries"))

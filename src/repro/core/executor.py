@@ -6,8 +6,12 @@ disjoint vertex sets and are therefore fully independent.
 :class:`BisectionExecutor` is the small abstraction that runs one such
 frontier: serially, on a thread pool (the numpy/scipy kernels inside GD
 release the GIL during mat-vecs and sorts, so threads already overlap),
-on a process pool for full CPU parallelism, or *batched* — the whole
-frontier advanced in lock-step as one vectorized block-diagonal solve
+on a process pool for full CPU parallelism — pickling each subgraph to
+its worker (``"process"``) or sharing the whole wave zero-copy through
+one :mod:`multiprocessing.shared_memory` arena with only task
+coordinates crossing the pipe (``"shm"``, see :mod:`repro.core.shm`) —
+or *batched*: the whole frontier advanced in lock-step as one
+vectorized block-diagonal solve
 (:class:`~repro.core.batched.BatchedFrontierSolver`), which needs no
 extra cores at all.
 
@@ -65,13 +69,17 @@ import logging
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
 from ..faults import attempt_scope, fault_site
 from .config import PARALLELISM_MODES
+from .shm import ShmStats
+
+if TYPE_CHECKING:
+    from .config import ExecutionConfig
 
 __all__ = [
     "BisectionExecutor",
@@ -93,11 +101,18 @@ class ExecutorTaskError(RuntimeError):
 
 @dataclass
 class ExecutorStats:
-    """Counters of the resilience machinery (one executor's lifetime)."""
+    """Counters of the resilience machinery (one executor's lifetime).
+
+    ``shm`` aggregates the shared-memory backend's per-wave counters —
+    segments created, worker attaches, bytes shared versus the pickled
+    bytes the process backend would have shipped (see
+    :class:`~repro.core.shm.ShmStats`).  Empty for the other backends.
+    """
 
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
+    shm: ShmStats = field(default_factory=ShmStats)
 
 
 def task_seed(base_seed: int, depth: int, first_part: int) -> int:
@@ -144,9 +159,13 @@ class BisectionExecutor:
     Parameters
     ----------
     parallelism:
-        ``"serial"``, ``"thread"``, ``"process"`` or ``"batched"``.
+        ``"serial"``, ``"thread"``, ``"process"``, ``"shm"`` or
+        ``"batched"``.  ``"shm"`` is a process pool whose frontier waves
+        travel through shared-memory arenas instead of pickles (see
+        :mod:`repro.core.shm`); its generic :meth:`map` path and
+        too-small waves fall back to the ordinary pickling pool.
     max_workers:
-        Pool size for the thread/process backends; ``None`` uses the
+        Pool size for the thread/process/shm backends; ``None`` uses the
         :mod:`concurrent.futures` default.  Ignored by the serial and
         batched backends.
     task_timeout_seconds:
@@ -164,7 +183,8 @@ class BisectionExecutor:
     """
 
     def __init__(self, parallelism: str = "serial", max_workers: int | None = None,
-                 task_timeout_seconds: float | None = None, task_retries: int = 2):
+                 task_timeout_seconds: float | None = None, task_retries: int = 2,
+                 shm_min_wave_tasks: int = 2, shm_segment_prefix: str = "repro-shm"):
         self.parallelism = resolve_parallelism(parallelism)
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 when given")
@@ -172,11 +192,24 @@ class BisectionExecutor:
             raise ValueError("task_timeout_seconds must be positive when given")
         if task_retries < 0:
             raise ValueError("task_retries must be non-negative")
+        if shm_min_wave_tasks < 1:
+            raise ValueError("shm_min_wave_tasks must be at least 1")
         self.max_workers = max_workers
         self.task_timeout_seconds = task_timeout_seconds
         self.task_retries = task_retries
+        self.shm_min_wave_tasks = shm_min_wave_tasks
+        self.shm_segment_prefix = shm_segment_prefix
         self.stats = ExecutorStats()
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    @classmethod
+    def from_execution(cls, execution: "ExecutionConfig") -> "BisectionExecutor":
+        """Build an executor from an :class:`~repro.core.ExecutionConfig`."""
+        return cls(execution.parallelism, execution.max_workers,
+                   task_timeout_seconds=execution.task_timeout_seconds,
+                   task_retries=execution.task_retries,
+                   shm_min_wave_tasks=execution.shm_min_wave_tasks,
+                   shm_segment_prefix=execution.shm_segment_prefix)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -370,18 +403,33 @@ class BisectionExecutor:
         records.  The batched backend hands the whole wave to
         :class:`~repro.core.batched.BatchedFrontierSolver`, which advances
         every subproblem in lock-step as one block-diagonal solve; the
-        other backends map ``run_one`` over the tasks.  Either way the
-        per-task local assignments come back in task order and are
-        bit-identical across backends (the deterministic-seeding
-        contract).
+        shm backend packs the wave into one shared-memory arena and
+        drives the process pool with task coordinates only
+        (:func:`~repro.core.shm.solve_frontier_shm` — the retry/timeout/
+        pool-rebuild machinery of :meth:`_map_processes` applies
+        unchanged); the other backends map ``run_one`` over the tasks.
+        Either way the per-task local assignments come back in task
+        order and are bit-identical across backends (the
+        deterministic-seeding contract).
         """
         subproblems = list(subproblems)
+        if not subproblems:
+            return []
         if self.parallelism == "batched":
-            if not subproblems:
-                return []
             # Imported lazily: the executor itself stays independent of the
             # solver stack (only the batched backend needs it).
             from .batched import BatchedFrontierSolver
 
             return BatchedFrontierSolver(subproblems).solve()
+        if self.parallelism == "shm":
+            from .shm import solve_frontier_shm, wave_is_shm_packable
+
+            if (len(subproblems) >= self.shm_min_wave_tasks
+                    and wave_is_shm_packable(subproblems)):
+                if labels is None:
+                    labels = [f"#{index}" for index in range(len(subproblems))]
+                return solve_frontier_shm(self, subproblems, labels)
+            # Tiny waves (typically the root task) and tasks carrying
+            # solver state fall through to the ordinary task path below
+            # — same results, no arena overhead.
         return self.map(run_one, subproblems, labels=labels)

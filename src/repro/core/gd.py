@@ -636,13 +636,13 @@ class GDPartitioner:
                  *, parallelism: str | None = None, max_workers: int | None = None):
         self.epsilon = validate_epsilon(epsilon)
         self.config = config if config is not None else GDConfig()
-        overrides = {}
-        if parallelism is not None:
-            overrides["parallelism"] = parallelism
-        if max_workers is not None:
-            overrides["max_workers"] = max_workers
-        if overrides:
-            self.config = self.config.with_updates(**overrides)
+        if parallelism is not None or max_workers is not None:
+            execution = self.config.execution
+            if parallelism is not None:
+                execution = execution.with_updates(parallelism=parallelism)
+            if max_workers is not None:
+                execution = execution.with_updates(max_workers=max_workers)
+            self.config = self.config.with_updates(execution=execution)
 
     def bisect(self, graph: Graph, weights: np.ndarray,
                target_fraction: float = 0.5) -> BisectionResult:

@@ -111,6 +111,15 @@ class KernelBackend(ABC):
     replaces the stepper's separate step/projection kernels with one
     fused pass over the compacted free set; the stepper switches to its
     fused path when it is set.
+
+    Buffer ownership: input arrays may be externally owned and
+    *read-only* — under the ``"shm"`` executor the graph arrays and
+    weight rows are zero-copy views into a shared-memory segment with
+    ``writeable=False``.  Kernels must never write into an input unless
+    the kernel is documented as in-place on a named *output* argument
+    (:meth:`masked_assign`, :meth:`scatter`, :meth:`stacked_sweep_update`,
+    ``clip_box(..., out=)``); those outputs are always solver-allocated
+    scratch, never the shared inputs.
     """
 
     #: Registry name of the backend (``GDConfig.kernel_backend`` value).

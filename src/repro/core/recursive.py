@@ -17,10 +17,12 @@ Instead of depth-first recursion, the recursion tree is processed as a
 disjoint vertex sets: the coordinating process materializes the whole
 wave's induced subgraphs in one pass (:meth:`Graph.subgraphs`) and hands
 the wave to :meth:`~repro.core.executor.BisectionExecutor.solve_frontier`
-— serially, on a thread pool, on a process pool, or *batched* (the whole
-wave advanced in lock-step as one vectorized block-diagonal solve by
-:class:`~repro.core.batched.BatchedFrontierSolver`), selected by
-:attr:`GDConfig.parallelism` and :attr:`GDConfig.max_workers`.
+— serially, on a thread pool, on a process pool (pickled subgraphs, or
+the wave shared zero-copy through one shared-memory arena with
+``parallelism="shm"``; see :mod:`repro.core.shm`), or *batched* (the
+whole wave advanced in lock-step as one vectorized block-diagonal solve
+by :class:`~repro.core.batched.BatchedFrontierSolver`), selected by
+:attr:`GDConfig.execution` (an :class:`~repro.core.ExecutionConfig`).
 
 Each worker's ``gd_bisect`` call constructs its own
 :class:`~repro.core.projection.ProjectionEngine` for its subproblem's
@@ -44,7 +46,8 @@ through :class:`numpy.random.SeedSequence` ``spawn_key`` s — never of
 execution order or of the chosen backend.  Consequently
 ``recursive_bisection(graph, w, k, eps, config)`` returns **bit-identical**
 assignments for ``parallelism`` in ``{"serial", "thread", "process",
-"batched"}`` and any ``max_workers``, given a fixed ``config.seed``.  Code
+"shm", "batched"}`` and any ``max_workers``, given a fixed
+``config.seed``.  Code
 that changes the task identity (the ``(depth, first_part)`` coordinate)
 changes the sampled partitions and must be treated as a behavioural change.
 """
@@ -62,7 +65,7 @@ from ..graphs.graph import Graph
 from ..partition.partition import Partition
 from ..partition.validation import validate_epsilon, validate_num_parts, validate_weights
 from .checkpoint import FrontierCheckpoint, TaskState
-from .config import GDConfig
+from .config import ExecutionConfig, GDConfig
 from .executor import BisectionExecutor, task_seed
 from .gd import gd_bisect
 
@@ -134,7 +137,9 @@ def _prepare_wave(graph: Graph, weights: np.ndarray, tasks: list[_Task],
         # bisection serially — the frontier is the unit of parallelism.
         sub_config = config.with_updates(
             seed=task_seed(config.seed, task.depth, task.first_part),
-            record_history=False, parallelism="serial", max_workers=None)
+            record_history=False,
+            execution=config.execution.with_updates(parallelism="serial",
+                                                    max_workers=None))
         target_fraction = ((task.num_parts + 1) // 2) / task.num_parts
         prepared.append((_Subproblem(subgraph=subgraph, weights=weights[:, mapping],
                                      epsilon=epsilon_per_level, config=sub_config,
@@ -158,6 +163,8 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
                         epsilon: float = 0.05, config: GDConfig | None = None,
                         *, parallelism: str | None = None,
                         max_workers: int | None = None,
+                        execution: ExecutionConfig | None = None,
+                        executor: BisectionExecutor | None = None,
                         checkpoint_sink: Callable[[FrontierCheckpoint], None] | None = None,
                         checkpoint_every: int = 1,
                         resume_from: FrontierCheckpoint | None = None) -> Partition:
@@ -169,11 +176,19 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
         As in :func:`repro.core.gd_bisect`, but for ``num_parts >= 2``.
     config:
         Algorithm parameters; defaults to :class:`GDConfig()`.
-    parallelism, max_workers:
-        Optional overrides of the corresponding :class:`GDConfig` fields —
-        convenient when the caller holds a shared config but wants to pick
-        the execution backend per call.  The output is bit-identical across
-        backends for a fixed ``config.seed`` (see the module docstring).
+    parallelism, max_workers, execution:
+        Optional overrides of ``config.execution`` — convenient when the
+        caller holds a shared config but wants to pick the execution
+        backend per call (``execution`` replaces the whole sub-config;
+        the two scalar overrides patch individual fields on top).  The
+        output is bit-identical across backends for a fixed
+        ``config.seed`` (see the module docstring).
+    executor:
+        An externally-owned :class:`~repro.core.executor.BisectionExecutor`
+        to run the waves on.  The caller keeps shutdown responsibility
+        and can read ``executor.stats`` (retries, pool rebuilds, shared-
+        memory counters) after the run; ``None`` creates one from
+        ``config.execution`` for the duration of the call.
     checkpoint_sink, checkpoint_every:
         When ``checkpoint_sink`` is given it receives a
         :class:`~repro.core.checkpoint.FrontierCheckpoint` at the top of
@@ -191,10 +206,14 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
         bit-identical to the uninterrupted run's.
     """
     config = config if config is not None else GDConfig()
+    if execution is not None:
+        config = config.with_updates(execution=execution)
     if parallelism is not None:
-        config = config.with_updates(parallelism=parallelism)
+        config = config.with_updates(
+            execution=config.execution.with_updates(parallelism=parallelism))
     if max_workers is not None:
-        config = config.with_updates(max_workers=max_workers)
+        config = config.with_updates(
+            execution=config.execution.with_updates(max_workers=max_workers))
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be at least 1")
     epsilon = validate_epsilon(epsilon)
@@ -226,9 +245,10 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
                        "num_edges": graph.num_edges, "num_parts": num_parts,
                        "epsilon": epsilon, "seed": config.seed}
 
-    with BisectionExecutor(config.parallelism, config.max_workers,
-                           task_timeout_seconds=config.task_timeout_seconds,
-                           task_retries=config.task_retries) as executor:
+    owns_executor = executor is None
+    if owns_executor:
+        executor = BisectionExecutor.from_execution(config.execution)
+    try:
         while frontier:
             if checkpoint_sink is not None and level > 0 and level % checkpoint_every == 0:
                 checkpoint_sink(FrontierCheckpoint(
@@ -260,5 +280,8 @@ def recursive_bisection(graph: Graph, weights: np.ndarray, num_parts: int,
                         for task, (_, mapping), local in zip(pending, prepared, local_assignments)
                         for child in _expand(task, mapping, local)]
             level += 1
+    finally:
+        if owns_executor:
+            executor.shutdown()
 
     return Partition(graph=graph, assignment=assignment, num_parts=num_parts)

@@ -120,8 +120,8 @@ def repair_config(config: GDConfig) -> GDConfig:
                                noise_std=0.0,
                                fixing_start_fraction=0.0,
                                record_history=False,
-                               parallelism="serial",
-                               max_workers=None)
+                               execution=config.execution.with_updates(
+                                   parallelism="serial", max_workers=None))
 
 
 @dataclass(frozen=True)
@@ -221,9 +221,9 @@ class IncrementalRepartitioner:
     config:
         GD parameters.  ``repartition_hops`` /
         ``repartition_damage_threshold`` / ``repartition_iterations``
-        control the repair policy; ``parallelism`` / ``max_workers``
-        select the execution backend of both the repair waves and the
-        recompute fallback (outputs are bit-identical across backends).
+        control the repair policy; ``config.execution`` selects the
+        execution backend of both the repair waves and the recompute
+        fallback (outputs are bit-identical across backends).
     """
 
     def __init__(self, dynamic: DynamicGraph, assignment: np.ndarray,
@@ -374,7 +374,7 @@ class IncrementalRepartitioner:
 
         frontier = [_TreeNode(vertex_ids=np.arange(snapshot.num_vertices),
                               num_parts=self.num_parts, first_part=0, depth=0)]
-        with BisectionExecutor(config.parallelism, config.max_workers) as executor:
+        with BisectionExecutor.from_execution(config.execution) as executor:
             while frontier:
                 pending: list[_TreeNode] = []
                 for node in frontier:

@@ -26,7 +26,7 @@ from ..baselines import (
     SocialHashPartitioner,
     SpinnerPartitioner,
 )
-from ..core import GDConfig, GDPartitioner
+from ..core import ExecutionConfig, GDConfig, GDPartitioner
 from ..graphs import Graph, load_dataset, standard_weights
 from ..graphs.weights import degree_weights, unit_weights
 from ..partition.partition import Partition
@@ -131,7 +131,8 @@ def partition_by_mode(graph: Graph, mode: str, num_parts: int,
         raise ValueError(f"unknown partitioning mode {mode!r}; "
                          f"available: {PARTITIONING_MODES}")
     partitioner = make_gd(epsilon=epsilon, iterations=iterations, seed=seed,
-                          parallelism=parallelism, max_workers=max_workers,
+                          execution=ExecutionConfig(parallelism=parallelism,
+                                                    max_workers=max_workers),
                           multilevel=multilevel, compaction=compaction)
     return partitioner.partition(graph, weights, num_parts)
 

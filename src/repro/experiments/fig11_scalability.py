@@ -92,7 +92,9 @@ def run_parallel(scale: float = 4.0, num_parts: int = 8,
     reference exactly (it must, by the deterministic-seeding contract).
     Speedups > 1 require actual hardware parallelism — on a single-core
     machine the pool backends degrade gracefully to roughly serial time
-    plus pool overhead.  The exception is ``parallelism="batched"``: it
+    plus pool overhead (``"shm"`` additionally removes the per-task
+    subgraph pickling, so it dominates ``"process"`` whenever tasks are
+    large).  The exception is ``parallelism="batched"``: it
     takes no workers (the whole frontier advances in lock-step as one
     vectorized block-diagonal solve), so it is measured once and its
     speedup comes from vectorization, not extra cores.  ``multilevel``

@@ -53,7 +53,8 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 0, gd_iterations: int = 40,
     time GD spent producing that placement.  ``parallelism`` /
     ``max_workers`` select the recursive-bisection backend — including
     ``"batched"``, whose lock-step frontier solve speeds the measured
-    column up without extra cores — so the column doubles as the
+    column up without extra cores, and ``"shm"``, the zero-copy
+    shared-memory process pool — so the column doubles as the
     experiment's parallel mode (the placements, and hence the cost-model
     numbers, are backend-independent by the deterministic-seeding
     contract).  ``multilevel`` / ``compaction`` switch the partitioner to

@@ -91,6 +91,36 @@ class Graph:
         indptr, indices = cls._build_csr(num_vertices, canonical)
         return cls(num_vertices=num_vertices, edges=canonical, indptr=indptr, indices=indices)
 
+    @classmethod
+    def from_csr(cls, num_vertices: int, edges: np.ndarray, indptr: np.ndarray,
+                 indices: np.ndarray) -> "Graph":
+        """Adopt caller-owned CSR buffers without copying.
+
+        The zero-copy constructor of the shared-memory execution path
+        (:mod:`repro.core.shm`): ``edges``/``indptr``/``indices`` may be
+        views into a shared segment (read-only views included — no
+        algorithm in this package writes into a graph's arrays) and are
+        stored as-is.  The caller guarantees the arrays form a valid
+        canonical CSR graph (as produced by :meth:`from_edges` /
+        :meth:`subgraph`); only cheap shape/dtype invariants are checked
+        here.
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        for name, array, dtype in (("edges", edges, np.int64),
+                                   ("indptr", indptr, np.int64),
+                                   ("indices", indices, np.int64)):
+            if not isinstance(array, np.ndarray) or array.dtype != dtype:
+                raise ValueError(f"{name} must be an int64 numpy array")
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array")
+        if indptr.shape != (num_vertices + 1,):
+            raise ValueError("indptr must have length num_vertices + 1")
+        if indices.shape != (int(indptr[-1]) if indptr.size else 0,):
+            raise ValueError("indices length must match indptr[-1]")
+        return cls(num_vertices=num_vertices, edges=edges,
+                   indptr=indptr, indices=indices)
+
     @staticmethod
     def _build_csr(num_vertices: int, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         if edges.size == 0:

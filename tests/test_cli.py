@@ -52,6 +52,13 @@ class TestParser:
             ["partition", "g.txt", "--parallelism", "batched"])
         assert args.parallelism == "batched"
 
+    def test_parallelism_accepts_shm(self):
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--parallelism", "shm",
+             "--shm-min-wave-tasks", "4"])
+        assert args.parallelism == "shm"
+        assert args.shm_min_wave_tasks == 4
+
     def test_partition_defaults(self):
         args = build_parser().parse_args(["partition", "g.txt"])
         assert args.parts == 2
@@ -110,6 +117,37 @@ class TestPartitionCommand:
         assert set(np.unique(assignment)).issubset({0, 1, 2, 3})
         captured = capsys.readouterr().out
         assert "edge locality" in captured
+
+    def test_workers_with_poolless_backend_warns(self, graph_file, capsys):
+        # --workers has no effect on serial/batched; say so instead of
+        # silently ignoring it.
+        code = main(["partition", str(graph_file), "--parts", "2",
+                     "--iterations", "10", "--workers", "4"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: --workers 4 is ignored" in captured.err
+        assert "serial" in captured.err
+
+    def test_workers_with_pool_backend_does_not_warn(self, graph_file, capsys):
+        code = main(["partition", str(graph_file), "--parts", "2",
+                     "--iterations", "10", "--workers", "2",
+                     "--parallelism", "thread"])
+        assert code == 0
+        assert "ignored" not in capsys.readouterr().err
+
+    def test_gd_partition_with_shm_parallelism(self, graph_file, tmp_path, capsys):
+        # The same seed through serial and shm produces identical files.
+        serial_out = tmp_path / "serial.txt"
+        shm_out = tmp_path / "shm.txt"
+        assert main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "10", "--seed", "3",
+                     "--output", str(serial_out)]) == 0
+        assert main(["partition", str(graph_file), "--parts", "4",
+                     "--iterations", "10", "--seed", "3",
+                     "--parallelism", "shm", "--workers", "2",
+                     "--output", str(shm_out)]) == 0
+        capsys.readouterr()
+        assert np.array_equal(read_partition(serial_out), read_partition(shm_out))
 
     def test_gd_partition_with_multilevel_and_compaction(self, graph_file, capsys):
         code = main(["partition", str(graph_file), "--parts", "2",

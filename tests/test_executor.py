@@ -2,11 +2,13 @@
 
 The load-bearing property is the deterministic-seeding contract of
 ``repro.core.recursive``: for a fixed ``GDConfig.seed`` the serial,
-thread, process and batched backends must produce *bit-identical*
+thread, process, shm and batched backends must produce *bit-identical*
 assignments, because every subproblem's RNG seed is a pure function of
-its recursion-tree coordinate, never of scheduling order — and the
-batched backend's stacked arithmetic is the exact image of the per-task
-arithmetic.
+its recursion-tree coordinate, never of scheduling order — the batched
+backend's stacked arithmetic is the exact image of the per-task
+arithmetic, and the shm backend's shared-segment views replay the exact
+serial memory layout (see ``tests/test_shm.py`` for the arena-level
+tests).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from repro.graphs import Graph, fb_like, standard_weights
 from repro.partition import imbalance
 
 #: The full backend matrix of the determinism contract.
-ALL_BACKENDS = ("serial", "thread", "process", "batched")
+ALL_BACKENDS = ("serial", "thread", "process", "batched", "shm")
 
 
 # --------------------------------------------------------------------- #
@@ -231,7 +233,7 @@ def test_subgraph_of_empty_selection():
 def test_backends_produce_identical_partitions(social_graph, social_weights, num_parts):
     config = GDConfig(iterations=15, seed=11)
     reference = recursive_bisection(social_graph, social_weights, num_parts, 0.05, config)
-    for parallelism in ("thread", "process", "batched"):
+    for parallelism in ("thread", "process", "batched", "shm"):
         partition = recursive_bisection(social_graph, social_weights, num_parts, 0.05,
                                         config, parallelism=parallelism, max_workers=2)
         assert np.array_equal(partition.assignment, reference.assignment), parallelism
@@ -344,7 +346,7 @@ def test_process_backend_bit_identical_on_large_graph():
     weights = standard_weights(graph, 2)
     config = GDConfig(iterations=30, seed=42)
     serial = recursive_bisection(graph, weights, 8, 0.05, config)
-    for parallelism in ("process", "batched"):
+    for parallelism in ("process", "batched", "shm"):
         parallel = recursive_bisection(graph, weights, 8, 0.05, config,
                                        parallelism=parallelism, max_workers=4)
         assert np.array_equal(serial.assignment, parallel.assignment), parallelism

@@ -302,6 +302,32 @@ class TestSolverIntegration:
         assert "fused_update" not in result.kernel_stats
         assert result.partition.num_parts == 2
 
+    @pytest.mark.parametrize("backend_name", KERNEL_BACKENDS)
+    def test_solver_accepts_read_only_input_buffers(self, two_cliques_graph,
+                                                    backend_name):
+        # The buffer-ownership contract of KernelBackend: under the shm
+        # executor the graph arrays and weights are externally owned,
+        # read-only views — every kernel backend must run on them
+        # without attempting an in-place write, and produce the same
+        # bits as the writable path.
+        weights = standard_weights(two_cliques_graph, 2)
+        config = GDConfig(iterations=20, seed=1, kernel_backend=backend_name)
+        reference = gd_bisect(two_cliques_graph, weights, 0.1, config)
+
+        frozen_weights = weights.copy()
+        frozen_weights.flags.writeable = False
+        for array in (two_cliques_graph.indptr, two_cliques_graph.indices,
+                      two_cliques_graph.edges):
+            array.flags.writeable = False
+        try:
+            result = gd_bisect(two_cliques_graph, frozen_weights, 0.1, config)
+        finally:
+            for array in (two_cliques_graph.indptr, two_cliques_graph.indices,
+                          two_cliques_graph.edges):
+                array.flags.writeable = True
+        assert np.array_equal(result.partition.assignment,
+                              reference.partition.assignment)
+
 
 class TestCrossBackendQuality:
     """The cross-backend contract on the fb preset: quality within one

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import warnings
 
 import numpy as np
 import pytest
 
 import repro
-from repro.core import GDConfig
+from repro.core import ExecutionConfig, GDConfig
 from repro.serve import ServeConfig
 
 
@@ -166,3 +167,126 @@ class TestConfigRoundTrip:
                                        verbose=True)
         config = ServeConfig.from_args(namespace)
         assert (config.host, config.port, config.epsilon) == ("0.0.0.0", 0, 0.1)
+
+    def test_from_args_with_execution_override_owns_the_routing(self):
+        # The CLI pattern: execution built separately from the same
+        # namespace; from_args must not also collect the moved names
+        # (that would trip the both-names TypeError), and no
+        # deprecation warning fires on this modern path.
+        namespace = argparse.Namespace(iterations=7, workers=3, parallelism="thread")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = GDConfig.from_args(
+                namespace, execution=ExecutionConfig.from_args(namespace))
+        assert config.execution.parallelism == "thread"
+        assert config.execution.max_workers == 3
+
+
+class TestExecutionConfig:
+    def test_defaults_and_round_trip(self):
+        config = ExecutionConfig(parallelism="shm", max_workers=4,
+                                 task_timeout_seconds=30.0, task_retries=1,
+                                 shm_min_wave_tasks=3, shm_segment_prefix="t-shm")
+        assert ExecutionConfig.from_dict(config.to_dict()) == config
+        json.dumps(config.to_dict())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="parallelism"):
+            ExecutionConfig(parallelism="fork-bomb")
+        with pytest.raises(ValueError, match="max_workers"):
+            ExecutionConfig(max_workers=0)
+        with pytest.raises(ValueError, match="shm_min_wave_tasks"):
+            ExecutionConfig(shm_min_wave_tasks=0)
+        with pytest.raises(ValueError, match="shm_segment_prefix"):
+            ExecutionConfig(shm_segment_prefix="")
+
+    def test_gdconfig_nests_execution_in_dict_round_trip(self):
+        config = GDConfig(seed=5, execution=ExecutionConfig(parallelism="shm",
+                                                            max_workers=2))
+        as_dict = config.to_dict()
+        assert as_dict["execution"]["parallelism"] == "shm"
+        restored = GDConfig.from_dict(json.loads(json.dumps(as_dict)))
+        assert restored == config
+        assert isinstance(restored.execution, ExecutionConfig)
+
+
+class TestMoveShims:
+    """The PR's ``install_move_shims`` deprecation machinery on GDConfig."""
+
+    def test_flat_name_warns_and_lands_in_execution(self):
+        with pytest.warns(DeprecationWarning, match="moved to GDConfig.execution"):
+            config = GDConfig(parallelism="thread", max_workers=2)
+        assert config.execution.parallelism == "thread"
+        assert config.execution.max_workers == 2
+
+    def test_flat_attribute_access_warns_and_forwards(self):
+        config = GDConfig(execution=ExecutionConfig(parallelism="process",
+                                                    task_retries=5))
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            assert config.parallelism == "process"
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            assert config.task_retries == 5
+
+    def test_both_names_is_a_type_error(self):
+        with pytest.raises(TypeError, match="both"):
+            GDConfig(parallelism="thread",
+                     execution=ExecutionConfig(parallelism="process"))
+
+    def test_with_updates_remaps_flat_names(self):
+        config = GDConfig(execution=ExecutionConfig(max_workers=8))
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            updated = config.with_updates(parallelism="shm")
+        assert updated.execution.parallelism == "shm"
+        assert updated.execution.max_workers == 8  # untouched sibling field
+
+    def test_from_dict_accepts_old_flat_keys(self):
+        # Pre-redesign serialized configs keep loading.
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            config = GDConfig.from_dict({"seed": 7, "parallelism": "batched",
+                                         "task_retries": 1})
+        assert config.seed == 7
+        assert config.execution.parallelism == "batched"
+        assert config.execution.task_retries == 1
+
+    def test_execution_dict_is_coerced(self):
+        # from_dict of a nested mapping (the JSON round-trip path).
+        config = GDConfig(execution={"parallelism": "thread", "max_workers": 2})
+        assert isinstance(config.execution, ExecutionConfig)
+        assert config.execution.max_workers == 2
+
+
+class TestRunFacade:
+    def test_run_matches_partition_graph_bisection(self, two_cliques_graph):
+        gd = GDConfig(iterations=30, seed=3)
+        reference = repro.partition_graph(two_cliques_graph, 2, epsilon=0.1,
+                                          config=gd)
+        result = repro.run(two_cliques_graph, 2, epsilon=0.1, gd=gd)
+        assert isinstance(result, repro.RunResult)
+        assert np.array_equal(result.partition.assignment, reference.assignment)
+        # 2-way runs surface the full solver diagnostics.
+        assert result.bisection is not None
+        assert result.bisection.kernel_stats is not None
+        assert result.executor_stats is None
+        assert result.elapsed_seconds > 0.0
+
+    def test_run_kway_carries_executor_stats(self, two_cliques_graph):
+        gd = GDConfig(iterations=15, seed=3)
+        reference = repro.partition_graph(two_cliques_graph, 4, epsilon=0.1,
+                                          config=gd)
+        result = repro.run(two_cliques_graph, 4, epsilon=0.1, gd=gd)
+        assert np.array_equal(result.partition.assignment, reference.assignment)
+        assert result.bisection is None
+        assert result.executor_stats is not None
+        assert result.executor_stats.retries == 0
+        assert result.executor_stats.shm.waves == 0  # serial default: no arenas
+
+    def test_run_execution_override_wins(self, two_cliques_graph):
+        gd = GDConfig(iterations=15, seed=3)
+        result = repro.run(two_cliques_graph, 4, epsilon=0.1, gd=gd,
+                           execution=ExecutionConfig(parallelism="thread",
+                                                     max_workers=2))
+        assert result.execution.parallelism == "thread"
+        assert result.gd.execution.parallelism == "thread"
+        reference = repro.run(two_cliques_graph, 4, epsilon=0.1, gd=gd)
+        assert np.array_equal(result.partition.assignment,
+                              reference.partition.assignment)
